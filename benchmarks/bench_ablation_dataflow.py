@@ -1,0 +1,71 @@
+"""Ablation: output-stationary vs weight-stationary dataflow per level.
+
+The paper assigns OS to the SSD/channel levels and WS to the chip level
+(§4.5).  This ablation swaps the dataflow at each level and measures the
+per-feature compute time over the FC applications, isolating *why* the
+assignment is what it is: with one feature vector in flight, OS beats WS
+wherever weights are resident, while WS's weight pinning is what makes
+the chip level's bus-broadcast scheme workable at all.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.analysis import Table
+from repro.core.placement import CHANNEL_LEVEL, CHIP_LEVEL, SSD_LEVEL
+from repro.ssd import SsdConfig
+from repro.systolic import GraphMapper, SystolicArray
+from repro.workloads import ALL_APPS
+
+from conftest import emit
+
+FC_APPS = ("mir", "estp", "tir", "textqa")
+
+
+def spf_with_dataflow(placement, dataflow, app):
+    ssd = SsdConfig()
+    systolic = replace(placement.systolic, dataflow=dataflow)
+    swapped = replace(placement, systolic=systolic)
+    mapper = GraphMapper(
+        SystolicArray(systolic), swapped.build_hierarchy(ssd)
+    )
+    return mapper.map_graph(app.build_scn()).seconds_per_feature
+
+
+def sweep():
+    table = Table(
+        "Ablation: OS vs WS per level (compute us/feature, FC apps)",
+        ["Level", "App", "OS", "WS", "OS/WS"],
+    )
+    ratios = {}
+    for label, placement in (("ssd", SSD_LEVEL), ("channel", CHANNEL_LEVEL),
+                             ("chip", CHIP_LEVEL)):
+        for name in FC_APPS:
+            app = ALL_APPS[name]
+            os_spf = spf_with_dataflow(placement, "OS", app)
+            ws_spf = spf_with_dataflow(placement, "WS", app)
+            ratios.setdefault(label, {})[name] = os_spf / ws_spf
+            table.add_row(
+                label, name,
+                f"{os_spf * 1e6:8.2f}", f"{ws_spf * 1e6:8.2f}",
+                f"{os_spf / ws_spf:5.2f}",
+            )
+    return table, ratios
+
+
+def test_ablation_dataflow(benchmark):
+    table, ratios = benchmark(sweep)
+    emit(table, "ablation_dataflow.txt")
+    # at the channel level OS wins (m = 1: pinning weights costs reload
+    # passes, and the shared L2 keeps weights resident anyway); this is
+    # why Table 3 assigns OS there
+    for name, ratio in ratios["channel"].items():
+        assert ratio < 1.05, f"channel {name}: OS/WS = {ratio:.2f}"
+    # at the chip level the picture inverts hard: the 512 KB L1 cannot
+    # hold mid-sized models, so OS restreams weights over the channel
+    # bus per feature while WS amortizes each pinned tile over a batch —
+    # a >10x win, which is exactly why Table 3 assigns WS there
+    for name in ("mir", "estp", "tir"):
+        assert ratios["chip"][name] > 10.0, f"chip {name}: {ratios['chip'][name]:.1f}"
+    # TextQA's 0.16 MB model fits the chip L1, so OS remains fine there
+    assert ratios["chip"]["textqa"] < 1.2

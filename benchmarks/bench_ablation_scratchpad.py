@@ -1,0 +1,113 @@
+"""Ablation: scratchpad capacity and the shared second-level scratchpad.
+
+Two design choices from §4.5 isolated:
+
+1. **channel-level L1 size** — sweeping 128 KB to 2 MB shows the
+   residency cliff: models whose largest layer stops fitting the
+   (L1 + shared L2) capacity fall off to per-feature DRAM streaming;
+2. **shared L2 on/off** — removing the SSD-level 8 MB scratchpad from the
+   channel hierarchy ("improving the re-use of weights across
+   channel-level accelerators") pushes every mid-sized model into
+   streaming, quantifying the feature the paper highlights.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core.placement import CHANNEL_LEVEL, SSD_LEVEL
+from repro.ssd import SsdConfig
+from repro.systolic import (
+    GraphMapper,
+    ScratchpadHierarchy,
+    ScratchpadLevel,
+    SystolicArray,
+)
+from repro.workloads import ALL_APPS
+
+from conftest import emit
+
+KB = 1024
+MB = 1024 * 1024
+L1_SIZES = (128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB)
+
+
+def channel_mapper(l1_bytes, with_l2=True):
+    ssd = SsdConfig()
+    l1 = ScratchpadLevel(
+        "channel-l1", l1_bytes,
+        4 * CHANNEL_LEVEL.systolic.frequency_hz
+        * (CHANNEL_LEVEL.systolic.rows + CHANNEL_LEVEL.systolic.cols),
+    )
+    l2 = (
+        ScratchpadLevel("l2-ssd", SSD_LEVEL.scratchpad_bytes, ssd.dram_bandwidth)
+        if with_l2 else None
+    )
+    dram = ScratchpadLevel("dram", ssd.dram_bytes, ssd.dram_bandwidth)
+    return GraphMapper(
+        SystolicArray(CHANNEL_LEVEL.systolic),
+        ScratchpadHierarchy(l1, l2=l2, dram=dram),
+        stream_window=2,
+    )
+
+
+def sweep_l1():
+    table = Table(
+        "Ablation: channel-level L1 size (us/feature; * = weights streamed)",
+        ["App"] + [f"{size // KB}KB" for size in L1_SIZES],
+    )
+    curves = {}
+    for name, app in ALL_APPS.items():
+        graph = app.build_scn()
+        cells = []
+        for size in L1_SIZES:
+            profile = channel_mapper(size).map_graph(graph)
+            spf = profile.seconds_per_feature
+            curves.setdefault(name, {})[size] = (spf, profile.bound)
+            flag = "*" if profile.bound == "weight-stream" else ""
+            cells.append(f"{spf * 1e6:8.2f}{flag}")
+        table.add_row(name, *cells)
+    return table, curves
+
+
+def sweep_l2():
+    table = Table(
+        "Ablation: shared L2 on/off at the channel level (us/feature)",
+        ["App", "with L2", "without L2", "slowdown"],
+    )
+    slowdowns = {}
+    for name, app in ALL_APPS.items():
+        graph = app.build_scn()
+        with_l2 = channel_mapper(512 * KB, with_l2=True).map_graph(graph)
+        without = channel_mapper(512 * KB, with_l2=False).map_graph(graph)
+        slow = without.seconds_per_feature / with_l2.seconds_per_feature
+        slowdowns[name] = slow
+        table.add_row(
+            name,
+            f"{with_l2.seconds_per_feature * 1e6:8.2f}",
+            f"{without.seconds_per_feature * 1e6:8.2f}",
+            f"{slow:6.2f}x",
+        )
+    return table, slowdowns
+
+
+def test_ablation_l1_size(benchmark):
+    table, curves = benchmark(sweep_l1)
+    emit(table, "ablation_scratchpad_l1.txt")
+    # small apps are indifferent to L1 size (weights fit via L2 anyway)
+    textqa = [curves["textqa"][s][0] for s in L1_SIZES]
+    assert max(textqa) / min(textqa) < 1.05
+    # ReId streams its 10 MB FC at every L1 size (even 2 MB)
+    assert all(curves["reid"][s][1] == "weight-stream" for s in L1_SIZES)
+
+
+def test_ablation_shared_l2(benchmark):
+    table, slowdowns = benchmark(sweep_l2)
+    emit(table, "ablation_scratchpad_l2.txt")
+    # dropping the shared L2 hurts the mid-sized models badly...
+    assert slowdowns["mir"] > 2.0
+    assert slowdowns["estp"] > 2.0
+    assert slowdowns["tir"] > 1.5
+    # ...but not TextQA, whose 0.16 MB weights fit L1 outright
+    assert slowdowns["textqa"] < 1.05
+    # ReId streams either way
+    assert slowdowns["reid"] == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,69 @@
+"""Extension: host I/O interference policies.
+
+The paper's accelerators preempt regular I/O during queries ("the SSD
+controller responds to regular read/write operations with a busy
+signal", §4.5).  This bench quantifies the policy space: per application
+at the channel level, the scan slowdown and host throughput under
+preempt / fair-share / host-priority arbitration at increasing host
+offered load — making the paper's choice (preempt) legible as a design
+point rather than an assumption.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import DeepStoreSystem
+from repro.ssd.host_io import HostIoWorkload, InterferenceModel
+from repro.workloads import ALL_APPS
+
+from conftest import emit
+
+LOADS = (0.1, 0.3, 0.5)
+POLICIES = ("preempt", "share", "host-priority")
+
+
+def scan_io_fraction(app, meta):
+    """How much of the app's channel-level scan is flash-I/O time."""
+    system = DeepStoreSystem.at_level("channel")
+    latency = system.query_latency(app, meta)
+    io = latency.io_spf
+    busy = max(io, latency.compute_spf, latency.bus_weight_spf)
+    return min(1.0, io / busy)
+
+
+def sweep(paper_databases):
+    model = InterferenceModel()
+    table = Table(
+        "Extension: scan slowdown under host I/O (policy @ offered load)",
+        ["App", "io share"] + [f"{p}@{int(l * 100)}%" for p in POLICIES for l in LOADS],
+    )
+    results = {}
+    for name, app in ALL_APPS.items():
+        meta = paper_databases[name]
+        io_frac = scan_io_fraction(app, meta)
+        cells = []
+        for policy in POLICIES:
+            for load in LOADS:
+                outcome = model.evaluate(
+                    HostIoWorkload(load), policy, scan_io_fraction=io_frac
+                )
+                results.setdefault(name, {})[(policy, load)] = outcome
+                cells.append(f"{outcome.scan_slowdown:4.2f}")
+        table.add_row(name, f"{io_frac:4.2f}", *cells)
+    return table, results
+
+
+def test_ext_interference(benchmark, paper_databases):
+    table, results = benchmark.pedantic(
+        sweep, args=(paper_databases,), rounds=1, iterations=1
+    )
+    emit(table, "ext_interference.txt")
+    for name, rows in results.items():
+        # preempt (the paper's policy) keeps every scan at full speed
+        for load in LOADS:
+            assert rows[("preempt", load)].scan_slowdown == 1.0
+        # sharing hurts I/O-bound scans more than compute-bound ones
+        assert rows[("share", 0.5)].scan_slowdown >= 1.0
+    textqa = results["textqa"][("share", 0.5)].scan_slowdown
+    mir = results["mir"][("share", 0.5)].scan_slowdown
+    assert textqa > mir  # TextQA is the most flash-bound scan

@@ -1,0 +1,54 @@
+"""Extension: multi-query scan sharing.
+
+One database pass can score every pending query against each feature
+vector as it streams from flash.  This bench sweeps the co-scheduled
+query count per application at the channel level and reports batch
+speedup over back-to-back execution plus the "free concurrency" each
+workload's bottleneck hands out.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core.scheduler import MultiQueryScheduler
+from repro.workloads import ALL_APPS
+
+from conftest import emit
+
+BATCHES = (1, 2, 4, 8, 16, 32)
+
+
+def sweep(paper_databases):
+    scheduler = MultiQueryScheduler()
+    table = Table(
+        "Extension: shared-scan batch speedup (channel level)",
+        ["App"] + [f"n={n}" for n in BATCHES] + ["free (<=5% cost)"],
+    )
+    results = {}
+    for name, app in ALL_APPS.items():
+        meta = paper_databases[name]
+        graph = app.build_scn()
+        cells = []
+        for n in BATCHES:
+            report = scheduler.shared_scan(app, meta, n, graph=graph)
+            results.setdefault(name, {})[n] = report
+            cells.append(f"{report.batch_speedup:5.2f}x")
+        free = scheduler.free_concurrency(app, meta, graph=graph)
+        results[name]["free"] = free
+        table.add_row(name, *cells, str(free))
+    return table, results
+
+
+def test_ext_multiquery(benchmark, paper_databases):
+    table, results = benchmark.pedantic(
+        sweep, args=(paper_databases,), rounds=1, iterations=1
+    )
+    emit(table, "ext_multiquery.txt")
+    for name, rows in results.items():
+        # batching is never worse than serial execution
+        speedups = [rows[n].batch_speedup for n in BATCHES]
+        assert all(s >= 0.95 for s in speedups)
+        assert speedups == sorted(speedups)
+    # the stream-bound app (ReId) shares best; the compute-bound MIR worst
+    assert results["reid"][8].batch_speedup > results["mir"][8].batch_speedup
+    assert results["reid"]["free"] >= 4

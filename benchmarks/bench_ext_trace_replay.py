@@ -1,0 +1,97 @@
+"""Extension: trace-driven serving (latency under load).
+
+The paper reports single-query latency; a storage service also cares
+about sustained throughput and tail latency.  Using the paper's own
+trace-driven methodology (§5), this bench replays a Poisson query trace
+against the GPU+SSD baseline and DeepStore's channel level — with and
+without the query cache — and reports p50/p99 latency and the saturation
+point.
+"""
+
+import pytest
+
+from repro.analysis import Table, format_seconds
+from repro.baseline import GpuSsdSystem
+from repro.core import DeepStoreSystem
+from repro.core.query_cache import EmbeddingComparator, QueryCache
+from repro.ssd import Ssd
+from repro.workloads import QueryStream, capture_trace, get_app, replay_trace
+
+from conftest import emit
+
+N_QUERIES = 1500
+DB_FEATURES = 10_000_000  # 20 GB of TIR vectors
+
+
+def backends():
+    """Per-query service-time functions for each system."""
+    app = get_app("tir")
+    ssd = Ssd()
+    meta = ssd.ftl.create_database(app.feature_bytes, DB_FEATURES)
+    gpu_seconds = GpuSsdSystem().query_cost(app, meta.feature_count).seconds
+    ds_seconds = DeepStoreSystem.at_level("channel").query_latency(
+        app, meta
+    ).total_seconds
+
+    cache = QueryCache(
+        capacity=512, comparator=EmbeddingComparator(),
+        qcn_accuracy=0.98, threshold=0.10,
+    )
+
+    def cached_service(query):
+        lookup = cache.lookup(query.qfv)
+        base = lookup.entries_scanned * 0.3e-6
+        if lookup.hit:
+            return base + 300e-6
+        cache.insert(query.qfv, [0.0], [0])
+        return base + ds_seconds
+
+    return {
+        "GPU+SSD": (lambda q: gpu_seconds),
+        "DeepStore": (lambda q: ds_seconds),
+        "DeepStore+QC": cached_service,
+    }, gpu_seconds, ds_seconds
+
+
+def sweep():
+    systems, gpu_seconds, ds_seconds = backends()
+    # offered loads relative to the baseline's capacity
+    base_qps = 1.0 / gpu_seconds
+    loads = {"0.5x": 0.5 * base_qps, "2x": 2 * base_qps, "8x": 8 * base_qps}
+    table = Table(
+        "Extension: trace replay (TIR, p50 / p99 latency; S = saturated)",
+        ["Offered load"] + list(systems),
+    )
+    results = {}
+    for label, qps in loads.items():
+        stream = QueryStream(
+            dim=512, n_intents=2000, distribution="zipf", alpha=0.7,
+            paraphrase_noise=0.15, noise_spread=0.85, seed=21,
+        )
+        trace = capture_trace(stream, N_QUERIES, offered_qps=qps, seed=5)
+        cells = []
+        for name, service in systems.items():
+            dist = replay_trace(trace, service)
+            results.setdefault(label, {})[name] = dist
+            flag = " S" if dist.saturated else ""
+            cells.append(
+                f"{format_seconds(dist.p50_s)}/{format_seconds(dist.p99_s)}{flag}"
+            )
+        table.add_row(label, *cells)
+    return table, results
+
+
+def test_ext_trace_replay(benchmark):
+    table, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(table, "ext_trace_replay.txt")
+    # at half the GPU's capacity everyone keeps up, but DeepStore's
+    # latency is an order of magnitude lower
+    light = results["0.5x"]
+    assert not light["DeepStore"].saturated
+    assert light["GPU+SSD"].p50_s / light["DeepStore"].p50_s > 5.0
+    # at 2x the GPU saturates; DeepStore does not
+    assert results["2x"]["GPU+SSD"].saturated
+    assert not results["2x"]["DeepStore"].saturated
+    # at 8x only the cache-fronted device keeps its tail bounded
+    heavy = results["8x"]
+    assert heavy["DeepStore+QC"].p99_s <= heavy["DeepStore"].p99_s * 1.05

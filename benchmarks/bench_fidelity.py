@@ -1,0 +1,78 @@
+"""Cross-fidelity validation: analytic models vs discrete-event replay.
+
+Every closed-form rate in the repo has an event-driven counterpart; this
+bench runs them side by side and asserts agreement, making the fidelity
+contract a regenerable artifact rather than scattered test assertions:
+
+* whole-device channel-level query (all five apps);
+* chip-level channel scan with real weight broadcasts (FC apps);
+* raw SSD sequential-scan bandwidth.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import DeepStoreSystem, EventQuerySimulator
+from repro.core.event_query import simulate_chip_channel
+from repro.ssd import Ssd
+from repro.workloads import ALL_APPS, get_app
+
+from conftest import emit
+
+
+def channel_rows():
+    rows = []
+    for name, app in ALL_APPS.items():
+        ssd = Ssd()
+        meta = ssd.ftl.create_database(app.feature_bytes, 30_000)
+        graph = app.build_scn()
+        analytic = DeepStoreSystem.at_level("channel").query_latency(
+            app, meta, graph=graph
+        ).total_seconds
+        event = EventQuerySimulator().run(app, meta, graph=graph).total_seconds
+        rows.append((name, "channel query", analytic, event))
+    return rows
+
+
+def chip_rows():
+    rows = []
+    for name in ("mir", "estp", "tir", "textqa"):
+        app = get_app(name)
+        ssd = Ssd()
+        meta = ssd.ftl.create_database(app.feature_bytes, 1_000_000)
+        lat = DeepStoreSystem.at_level("chip").query_latency(app, meta)
+        analytic = max(lat.io_spf + lat.bus_weight_spf, lat.compute_spf)
+        event = simulate_chip_channel(app, meta, max_pages=256).seconds_per_feature
+        rows.append((name, "chip s/feature", analytic, event))
+    return rows
+
+
+def bandwidth_rows():
+    ssd = Ssd()
+    meta = ssd.ftl.create_database(2048, 300_000)
+    measured = ssd.measure_scan_bandwidth(meta, window_pages=2048)
+    analytic = min(ssd.config.internal_bandwidth, ssd.config.internal_bandwidth)
+    return [("-", "scan bandwidth", analytic, measured)]
+
+
+def sweep():
+    table = Table(
+        "Fidelity: analytic vs event-driven",
+        ["App", "Quantity", "Analytic", "Event", "Event/Analytic"],
+    )
+    ratios = []
+    for name, quantity, analytic, event in (
+        channel_rows() + chip_rows() + bandwidth_rows()
+    ):
+        ratio = event / analytic
+        ratios.append((quantity, ratio))
+        table.add_row(name, quantity, f"{analytic:.4g}", f"{event:.4g}",
+                      f"{ratio:5.2f}")
+    return table, ratios
+
+
+def test_fidelity(benchmark):
+    table, ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(table, "fidelity.txt")
+    for quantity, ratio in ratios:
+        assert 0.7 < ratio < 1.25, f"{quantity}: {ratio:.2f}"

@@ -1,0 +1,99 @@
+"""Fig. 10: internal and external bandwidth scaling (MIR).
+
+(a) varies the number of channels inside one SSD (4-64): the GPU+SSD
+system saturates at its external link, the SSD-level accelerator is
+compute-bound, and the channel/chip levels scale linearly.
+(b) varies the number of SSDs (1-8): the baseline's I/O shrinks but its
+compute does not, while DeepStore's compute scales with the devices.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.baseline import GpuSsdSystem
+from repro.core import DeepStoreSystem
+from repro.ssd import Ssd, SsdConfig
+from repro.workloads import get_app
+
+from conftest import emit
+
+CHANNELS = (4, 8, 16, 32, 64)
+SSDS = (1, 2, 4, 8)
+
+
+def internal_sweep():
+    app = get_app("mir")
+    graph = app.build_scn()
+    results = {}
+    for channels in CHANNELS:
+        config = SsdConfig().with_channels(channels)
+        ssd = Ssd(config)
+        meta = ssd.ftl.create_database(app.feature_bytes, int(2e9 / app.feature_bytes))
+        n = meta.feature_count
+        results.setdefault("traditional", {})[channels] = (
+            GpuSsdSystem().query_cost(app, n).seconds
+        )
+        for level in ("ssd", "channel", "chip"):
+            system = DeepStoreSystem.at_level(level, ssd=config)
+            results.setdefault(level, {})[channels] = system.query_latency(
+                app, meta, graph=graph
+            ).total_seconds
+    return results
+
+
+def external_sweep():
+    app = get_app("mir")
+    graph = app.build_scn()
+    ssd = Ssd()
+    meta = ssd.ftl.create_database(app.feature_bytes, int(2e9 / app.feature_bytes))
+    n = meta.feature_count
+    results = {}
+    for num in SSDS:
+        results.setdefault("traditional", {})[num] = (
+            GpuSsdSystem(num_ssds=num).query_cost(app, n).seconds
+        )
+        for level in ("ssd", "channel", "chip"):
+            system = DeepStoreSystem.at_level(level)
+            seconds = system.query_latency(app, meta, graph=graph).total_seconds
+            # DeepStore scales linearly with devices: the database and
+            # the accelerators replicate together (paper §6.3)
+            results.setdefault(level, {})[num] = seconds / num
+    return results
+
+
+def render(results, axis, norm_point, title, filename):
+    table = Table(title, ["System"] + [str(a) for a in axis])
+    norm = results["traditional"][norm_point]
+    for system, row in results.items():
+        table.add_row(system, *(f"{norm / row[a]:6.2f}x" for a in axis))
+    emit(table, filename)
+
+
+def test_fig10a_internal_bandwidth(benchmark):
+    results = benchmark.pedantic(internal_sweep, rounds=1, iterations=1)
+    render(results, CHANNELS, 32,
+           "Fig. 10a: speedup vs #channels (normalized to traditional @32ch)",
+           "fig10a_channels.txt")
+    # channel level scales linearly with channel count
+    channel = results["channel"]
+    assert channel[4] / channel[64] == pytest.approx(16, rel=0.15)
+    chip = results["chip"]
+    assert chip[4] / chip[64] == pytest.approx(16, rel=0.25)
+    # the baseline saturates beyond ~8 channels
+    trad = results["traditional"]
+    assert trad[8] / trad[64] < 1.1
+    # the SSD-level accelerator cannot exploit more channels
+    ssd_level = results["ssd"]
+    assert ssd_level[8] / ssd_level[64] < 1.25
+
+
+def test_fig10b_external_bandwidth(benchmark):
+    results = benchmark.pedantic(external_sweep, rounds=1, iterations=1)
+    render(results, SSDS, 1,
+           "Fig. 10b: speedup vs #SSDs (normalized to traditional @1 SSD)",
+           "fig10b_ssds.txt")
+    # DeepStore scales linearly with SSDs; the baseline sub-linearly
+    channel = results["channel"]
+    assert channel[1] / channel[8] == pytest.approx(8, rel=0.01)
+    trad = results["traditional"]
+    assert 2.0 < trad[1] / trad[8] < 8.0

@@ -1,0 +1,55 @@
+"""Fig. 11: energy efficiency of DeepStore designs vs the Volta GPU.
+
+Normalized perf/W per application and level.  Shape claims: the channel
+level is the most energy-efficient design everywhere (paper: up to
+78.6x), the chip level reaches only a fraction of the channel level's
+efficiency, and the SSD level sits lowest (0.7-2.8x in the paper).
+"""
+
+import pytest
+
+from repro.analysis import Table, compare_levels
+from repro.workloads import ALL_APPS
+
+from conftest import PAPER_ENERGY, emit
+
+
+def evaluate(paper_databases, volta_baseline):
+    table = Table(
+        "Fig. 11: perf/W normalized to Volta (measured | paper)",
+        ["App", "SSD-level", "Channel-level", "Chip-level"],
+    )
+    cells = {}
+    for name, app in ALL_APPS.items():
+        row = {
+            c.level: c
+            for c in compare_levels(app, paper_databases[name],
+                                    baseline=volta_baseline)
+        }
+        cells[name] = row
+
+        def fmt(level):
+            cell = row[level]
+            if not cell.supported:
+                return "n/a | n/a"
+            return f"{cell.energy_efficiency:6.1f}x | {PAPER_ENERGY[name][level]}"
+
+        table.add_row(name, fmt("ssd"), fmt("channel"), fmt("chip"))
+    return table, cells
+
+
+def test_fig11_energy_efficiency(benchmark, paper_databases, volta_baseline):
+    table, cells = benchmark.pedantic(
+        evaluate, args=(paper_databases, volta_baseline), rounds=1, iterations=1,
+    )
+    emit(table, "fig11_energy_efficiency.txt")
+    for name, row in cells.items():
+        assert row["channel"].energy_efficiency > row["ssd"].energy_efficiency
+        if row["chip"].supported:
+            assert row["channel"].energy_efficiency > row["chip"].energy_efficiency
+            # paper: chip achieves 8.2-17.5% of channel efficiency; ours
+            # lands in a wider 10-60% envelope
+            ratio = row["chip"].energy_efficiency / row["channel"].energy_efficiency
+            assert 0.05 < ratio < 0.65, f"{name}: {ratio:.2f}"
+    best = max(row["channel"].energy_efficiency for row in cells.values())
+    assert best > 25.0  # paper peaks at 78.6x; ours exceeds 25x

@@ -1,0 +1,58 @@
+"""Fig. 12: accelerator energy breakdown (compute / memory / flash).
+
+Per application and level, the share of dynamic energy spent in
+arithmetic, in the memory system (scratchpads, shared L2, DRAM, NoC),
+and in flash accesses.  Paper shape: SSD/channel levels are
+memory-dominated, chip level is flash-dominated, and ReId's flash share
+is elevated because each feature spans three flash pages.
+"""
+
+import pytest
+
+from repro.core import DeepStoreSystem
+from repro.analysis import Table
+from repro.workloads import ALL_APPS
+
+from conftest import emit
+
+
+def evaluate(paper_databases):
+    table = Table(
+        "Fig. 12: energy breakdown (percent: compute / memory / flash)",
+        ["App", "SSD-level", "Channel-level", "Chip-level"],
+    )
+    fractions = {}
+    for name, app in ALL_APPS.items():
+        meta = paper_databases[name]
+        graph = app.build_scn()
+        cells = []
+        for level in ("ssd", "channel", "chip"):
+            system = DeepStoreSystem.at_level(level)
+            if not system.supports(graph):
+                cells.append("n/a")
+                continue
+            latency = system.query_latency(app, meta, graph=graph)
+            f = latency.energy.fractions()
+            fractions.setdefault(name, {})[level] = f
+            cells.append(
+                f"{f['compute'] * 100:4.1f}/{f['memory'] * 100:4.1f}"
+                f"/{f['flash'] * 100:4.1f}"
+            )
+        table.add_row(name, *cells)
+    return table, fractions
+
+
+def test_fig12_energy_breakdown(benchmark, paper_databases):
+    table, fractions = benchmark.pedantic(
+        evaluate, args=(paper_databases,), rounds=1, iterations=1
+    )
+    emit(table, "fig12_energy_breakdown.txt")
+    for name, levels in fractions.items():
+        for level, f in levels.items():
+            assert f["compute"] + f["memory"] + f["flash"] == pytest.approx(1.0)
+        # memory dominates compute at SSD/channel level (paper §6.4)
+        assert levels["ssd"]["memory"] > levels["ssd"]["compute"]
+        assert levels["channel"]["memory"] > levels["channel"]["compute"]
+        # the chip level's flash share is the largest of the three levels
+        if "chip" in levels:
+            assert levels["chip"]["flash"] >= levels["channel"]["flash"]

@@ -1,0 +1,77 @@
+"""Fig. 14: query-cache miss rate as a function of cache size.
+
+At a 10% comparison threshold, sweeps the cache from 100 to 1000 entries
+under uniform, Zipf(0.7), and Zipf(0.8) query streams.  Paper shape:
+larger caches reduce the miss rate, but under locality-rich (Zipfian)
+streams the benefit flattens — a small in-DRAM cache suffices.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core.query_cache import (
+    CacheTimingModel,
+    EmbeddingComparator,
+    QueryCache,
+    QueryCacheSimulator,
+)
+from repro.workloads import QueryStream
+
+from conftest import emit
+
+SIZES = (100, 250, 500, 750, 1000)
+STREAMS = {
+    "uniform": ("uniform", 0.0),
+    "zipf(0.7)": ("zipf", 0.7),
+    "zipf(0.8)": ("zipf", 0.8),
+}
+N_INTENTS = 5000
+THRESHOLD = 0.10
+
+
+def miss_rate(distribution, alpha, capacity):
+    stream = QueryStream(
+        dim=512, n_intents=N_INTENTS, distribution=distribution, alpha=alpha,
+        paraphrase_noise=0.15, noise_spread=0.85, seed=17,
+    )
+    cache = QueryCache(
+        capacity=capacity,
+        comparator=EmbeddingComparator(),
+        qcn_accuracy=0.98,
+        threshold=THRESHOLD,
+    )
+    timing = CacheTimingModel(0.3e-6, 300e-6, 1.0)
+    report = QueryCacheSimulator(cache, timing).run(
+        stream.generate(1800), warmup=600
+    )
+    return report.miss_rate
+
+
+def sweep():
+    table = Table(
+        "Fig. 14: miss rate % vs cache entries (threshold 10%)",
+        ["Stream"] + [str(s) for s in SIZES],
+    )
+    results = {}
+    for label, (distribution, alpha) in STREAMS.items():
+        rates = [miss_rate(distribution, alpha, size) for size in SIZES]
+        results[label] = dict(zip(SIZES, rates))
+        table.add_row(label, *(f"{r * 100:5.1f}" for r in rates))
+    emit(table, "fig14_qc_size.txt")
+    return results
+
+
+def test_fig14_qc_size(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for label, rates in results.items():
+        # larger caches never miss more
+        assert rates[1000] <= rates[100] + 0.02, label
+    # locality lowers the whole curve
+    assert results["zipf(0.8)"][1000] < results["uniform"][1000]
+    assert results["zipf(0.7)"][1000] < results["uniform"][1000]
+    # diminishing returns under locality: the last doubling buys less
+    # than the first (paper: "the benefit of larger caches reduces")
+    z = results["zipf(0.8)"]
+    first_gain = z[100] - z[500]
+    last_gain = z[500] - z[1000]
+    assert last_gain <= first_gain + 0.02

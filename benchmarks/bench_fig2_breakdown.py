@@ -1,0 +1,51 @@
+"""Fig. 2: GPU+SSD execution-time breakdown per batch size and GPU.
+
+For each application and Fig.-2 batch size, reports the compute /
+CudaMemcpy / SSD-read shares and total batch time for the Pascal and
+Volta systems.  The headline claim: SSD read is 56-90% of execution
+time, and the newer GPU does not change the total.
+"""
+
+from repro.analysis import Table, format_seconds
+from repro.baseline import GpuSsdSystem, PASCAL_TITAN_XP, VOLTA_TITAN_V
+from repro.workloads import ALL_APPS
+
+from conftest import emit
+
+
+def sweep():
+    systems = {
+        "Pascal": GpuSsdSystem(PASCAL_TITAN_XP),
+        "Volta": GpuSsdSystem(VOLTA_TITAN_V),
+    }
+    table = Table(
+        "Fig. 2: GPU+SSD time breakdown (percent of batch time)",
+        ["App", "Batch", "GPU", "SSD read %", "Memcpy %", "Compute %", "Total"],
+    )
+    io_fractions = []
+    for name, app in ALL_APPS.items():
+        graph = app.build_scn()
+        for batch in app.fig2_batches:
+            for gpu_name, system in systems.items():
+                bd = system.batch_breakdown(app, batch, graph=graph)
+                f = bd.fractions()
+                io_fractions.append(f["ssd_read"])
+                table.add_row(
+                    name,
+                    batch,
+                    gpu_name,
+                    f"{f['ssd_read'] * 100:5.1f}",
+                    f"{f['memcpy'] * 100:5.1f}",
+                    f"{f['compute'] * 100:5.1f}",
+                    format_seconds(bd.serial_total_s),
+                )
+    return table, io_fractions
+
+
+def test_fig2_breakdown(benchmark):
+    table, io_fractions = benchmark(sweep)
+    emit(table, "fig2_breakdown.txt")
+    # the paper's band is 56-90%; assert ours stays in a 50-95% envelope
+    assert min(io_fractions) > 0.50
+    assert max(io_fractions) < 0.95
+    assert max(io_fractions) > 0.80  # some app is heavily I/O bound

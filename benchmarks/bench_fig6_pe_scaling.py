@@ -1,0 +1,41 @@
+"""Fig. 6: systolic-array speedup vs number of PEs.
+
+Sweeps 128 to 32K PEs, taking the best aspect ratio at each point, for
+the largest fully-connected and convolutional layers among the studied
+applications.  The FC curve saturates early (array width covers the
+layer's outputs); the ConvD curve keeps gaining until ~1-4K PEs.
+"""
+
+from repro.analysis import Table
+from repro.core.dse import explore_pe_scaling
+
+from conftest import emit
+
+
+def sweep():
+    fc = explore_pe_scaling("fc")
+    conv = explore_pe_scaling("conv")
+    table = Table(
+        "Fig. 6: speedup vs #PEs (best aspect ratio at each point)",
+        ["#PEs", "FC speedup", "FC shape", "Conv speedup", "Conv shape"],
+    )
+    for pf, pc in zip(fc, conv):
+        table.add_row(
+            pf.num_pes,
+            f"{pf.speedup:5.2f}x",
+            f"{pf.rows}x{pf.cols}",
+            f"{pc.speedup:5.2f}x",
+            f"{pc.rows}x{pc.cols}",
+        )
+    return table, fc, conv
+
+
+def test_fig6_pe_scaling(benchmark):
+    table, fc, conv = benchmark(sweep)
+    emit(table, "fig6_pe_scaling.txt")
+    fc_by_pes = {p.num_pes: p.speedup for p in fc}
+    conv_by_pes = {p.num_pes: p.speedup for p in conv}
+    # FC saturates early, conv later (paper: 512 and 1024 PEs)
+    assert fc_by_pes[32768] / fc_by_pes[512] < 1.7
+    assert conv_by_pes[1024] / conv_by_pes[128] > 1.5
+    assert conv_by_pes[32768] / conv_by_pes[16384] < 1.05

@@ -1,0 +1,73 @@
+"""Fig. 8 / Table 4: speedup and energy efficiency vs GPU+SSD.
+
+For every application and accelerator level, regenerates the speedup
+over the Volta GPU+SSD system (and the wimpy-core slowdown), side by
+side with the paper's published numbers.  Shape assertions: the channel
+level always wins, the SSD level is always slower than the GPU, ReId is
+the worst channel-level app and TextQA the best, and ReId cannot run at
+the chip level.
+"""
+
+import pytest
+
+from repro.analysis import Table, compare_levels
+from repro.baseline import WimpyCoreModel
+from repro.workloads import ALL_APPS
+
+from conftest import PAPER_ENERGY, PAPER_SPEEDUP, emit
+
+
+def evaluate(paper_databases, volta_baseline):
+    wimpy = WimpyCoreModel()
+    table = Table(
+        "Fig. 8 / Table 4: speedup and perf/W vs GPU+SSD (measured | paper)",
+        ["App", "Wimpy", "SSD-lvl", "Channel", "Chip",
+         "EE SSD-lvl", "EE Channel", "EE Chip"],
+    )
+    cells = {}
+    for name, app in ALL_APPS.items():
+        meta = paper_databases[name]
+        row = {c.level: c for c in compare_levels(app, meta, baseline=volta_baseline)}
+        cells[name] = row
+        wimpy_speedup = volta_baseline.seconds_per_feature(app) / \
+            wimpy.seconds_per_feature(app)
+
+        def fmt(level, paper, energy=False):
+            cell = row[level]
+            if not cell.supported:
+                return "n/a | n/a"
+            value = cell.energy_efficiency if energy else cell.speedup
+            return f"{value:6.2f}x | {paper}"
+
+        table.add_row(
+            name,
+            f"{wimpy_speedup:5.2f}x",
+            fmt("ssd", PAPER_SPEEDUP[name]["ssd"]),
+            fmt("channel", PAPER_SPEEDUP[name]["channel"]),
+            fmt("chip", PAPER_SPEEDUP[name]["chip"]),
+            fmt("ssd", PAPER_ENERGY[name]["ssd"], energy=True),
+            fmt("channel", PAPER_ENERGY[name]["channel"], energy=True),
+            fmt("chip", PAPER_ENERGY[name]["chip"], energy=True),
+        )
+    return table, cells
+
+
+def test_fig8_table4(benchmark, paper_databases, volta_baseline):
+    table, cells = benchmark.pedantic(
+        evaluate, args=(paper_databases, volta_baseline), rounds=1, iterations=1,
+    )
+    emit(table, "fig8_table4_speedup.txt")
+
+    channel = {n: row["channel"].speedup for n, row in cells.items()}
+    assert all(row["ssd"].speedup < 1.0 for row in cells.values())
+    assert all(
+        row["channel"].speedup > row["chip"].speedup
+        for row in cells.values() if row["chip"].supported
+    )
+    assert min(channel, key=channel.get) == "reid"
+    assert max(channel, key=channel.get) == "textqa"
+    assert not cells["reid"]["chip"].supported
+    # each channel-level speedup within 2.5x of the published value
+    for name, value in channel.items():
+        paper = PAPER_SPEEDUP[name]["channel"]
+        assert paper / 2.5 < value < paper * 2.5, f"{name}: {value:.2f}"

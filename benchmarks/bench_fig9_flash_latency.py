@@ -1,0 +1,80 @@
+"""Fig. 9: sensitivity to flash array read latency.
+
+Sweeps the read latency from 1:8 of the 53 us baseline (fast Z-NAND-like
+flash) to 4:1 (slow commodity flash) and reports each system's speedup
+normalized to its own 53 us performance.  DeepStore's channel and chip
+levels stay within ~10% at 4x latency because the channel bus, not the
+array, limits a steady scan — so DeepStore works with cheap flash.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.baseline import GpuSsdSystem
+from repro.core import DeepStoreSystem
+from repro.ssd import Ssd, SsdConfig
+from repro.workloads import ALL_APPS
+
+RATIOS = {"1:8": 1 / 8, "1:4": 1 / 4, "1:2": 1 / 2, "1:1": 1.0, "2:1": 2.0, "4:1": 4.0}
+BASE_LATENCY = 53e-6
+
+from conftest import emit
+
+
+def query_seconds(level, app, latency):
+    config = SsdConfig().with_flash_latency(latency)
+    ssd = Ssd(config)
+    meta = ssd.ftl.create_database(app.feature_bytes, int(2e9 / app.feature_bytes))
+    graph = app.build_scn()
+    system = DeepStoreSystem.at_level(level, ssd=config)
+    if not system.supports(graph):
+        return None
+    return system.query_latency(app, meta, graph=graph).total_seconds
+
+
+def sweep():
+    tables = {}
+    normalized = {}
+    for level in ("ssd", "channel", "chip"):
+        table = Table(
+            f"Fig. 9: speedup vs flash latency ratio — DeepStore {level} level "
+            f"(1:1 = 53us)",
+            ["App"] + list(RATIOS),
+        )
+        for name, app in ALL_APPS.items():
+            base = query_seconds(level, app, BASE_LATENCY)
+            if base is None:
+                table.add_row(name, *(["n/a"] * len(RATIOS)))
+                continue
+            cells = []
+            for label, ratio in RATIOS.items():
+                seconds = query_seconds(level, app, BASE_LATENCY * ratio)
+                speedup = base / seconds
+                normalized.setdefault(level, {}).setdefault(name, {})[label] = speedup
+                cells.append(f"{speedup:5.3f}")
+            table.add_row(name, *cells)
+        tables[level] = table
+    return tables, normalized
+
+
+def test_fig9_flash_latency(benchmark):
+    tables, normalized = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for level, table in tables.items():
+        emit(table, f"fig9_latency_{level}.txt")
+    # the paper: channel within 89.9% and chip within 96.1% at 4x latency
+    for name, points in normalized["channel"].items():
+        assert points["4:1"] > 0.70, f"channel {name}: {points['4:1']:.3f}"
+        assert points["1:8"] < 1.15  # faster flash barely helps
+    for name, points in normalized["chip"].items():
+        assert points["4:1"] > 0.80, f"chip {name}: {points['4:1']:.3f}"
+    # the SSD level is compute-bound: latency is invisible
+    for name, points in normalized["ssd"].items():
+        assert points["4:1"] > 0.95
+
+
+def test_fig9_traditional_insensitive(benchmark):
+    # the GPU+SSD system is bounded by external bandwidth; array latency
+    # does not appear in its model at all (the paper's Fig. 9a is flat)
+    app = ALL_APPS["mir"]
+    cost = benchmark(lambda: GpuSsdSystem().query_cost(app, 1000000).seconds)
+    assert cost > 0

@@ -1,0 +1,32 @@
+"""The reproduction scorecard, as a benchmark artifact.
+
+Re-runs every Table-4 comparison and the prose structural checks,
+prints the verdict table, and writes ``benchmarks/results/scorecard.json``
+— the single machine-readable record of paper-vs-measured.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.scorecard import build_scorecard
+
+from conftest import RESULTS_DIR
+
+
+def test_scorecard(benchmark, paper_databases):
+    card = benchmark.pedantic(build_scorecard, rounds=1, iterations=1)
+    print()
+    print(card.render())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scorecard.json").write_text(card.to_json() + "\n")
+    (RESULTS_DIR / "scorecard.txt").write_text(card.render() + "\n")
+
+    counts = card.counts
+    # every prose claim must hold
+    assert card.structural_ok, card.structural
+    # no outright mismatches (an n/a cell measured as feasible, or
+    # vice versa), and the bulk of the grid within tolerance
+    assert counts["mismatch"] == 0
+    assert counts["off"] <= 3
+    assert counts["within"] >= 8

@@ -1,0 +1,47 @@
+"""Table 1: intelligent-query applications and their characteristics.
+
+Regenerates the per-application row (feature size, layer counts, total
+FLOPs, total weight size) from the implemented SCNs and checks each
+against the published value.
+"""
+
+import pytest
+
+from repro.analysis import Table, format_si
+from repro.workloads import ALL_APPS
+
+from conftest import emit
+
+
+def build_table():
+    table = Table(
+        "Table 1: applications and characteristics (measured vs paper)",
+        ["App", "Type", "Feature(KB)", "#Conv", "#FC", "#EW", "FLOPs", "Weights(MB)",
+         "paper FLOPs", "paper MB"],
+    )
+    rows = []
+    for name, app in ALL_APPS.items():
+        graph = app.build_scn()
+        counts = graph.count_layers()
+        rows.append((name, graph))
+        table.add_row(
+            name,
+            app.modality,
+            f"{app.feature_bytes / 1024:.1f}",
+            counts["conv"],
+            counts["fc"],
+            counts["elementwise"],
+            format_si(graph.total_flops()),
+            f"{graph.weight_bytes() / 2**20:.2f}",
+            format_si(app.table1.total_flops),
+            f"{app.table1.weight_bytes / 2**20:.2f}",
+        )
+    return table, rows
+
+
+def test_table1(benchmark):
+    table, rows = benchmark(build_table)
+    emit(table, "table1.txt")
+    for name, graph in rows:
+        app = ALL_APPS[name]
+        assert graph.total_flops() == pytest.approx(app.table1.total_flops, rel=0.10)

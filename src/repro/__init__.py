@@ -1,0 +1,38 @@
+"""DeepStore reproduction: in-storage acceleration for intelligent queries.
+
+A faithful Python implementation of the system described in
+
+    Mailthody, Qureshi, et al., "DeepStore: In-Storage Acceleration for
+    Intelligent Queries", MICRO-52, 2019.
+
+Public surface:
+
+* :class:`repro.core.DeepStoreDevice` — the programming API (Table 2);
+* :class:`repro.core.DeepStoreSystem` — the performance/energy model;
+* :mod:`repro.workloads` — the five Table-1 applications;
+* :mod:`repro.baseline` — the GPU+SSD and wimpy-core comparison systems;
+* :mod:`repro.ssd`, :mod:`repro.systolic`, :mod:`repro.nn`,
+  :mod:`repro.energy`, :mod:`repro.sim` — the substrates.
+"""
+
+from repro.core import (
+    DeepStoreDevice,
+    DeepStoreSystem,
+    QueryHandle,
+    QueryLatency,
+    QueryResult,
+)
+from repro.workloads import ALL_APPS, get_app
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeepStoreDevice",
+    "DeepStoreSystem",
+    "QueryHandle",
+    "QueryResult",
+    "QueryLatency",
+    "ALL_APPS",
+    "get_app",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Metrics and reporting helpers for the benchmark harness."""
+
+from repro.analysis.metrics import (
+    EvaluationCell,
+    compare_levels,
+    energy_efficiency,
+    evaluate_level,
+    speedup,
+)
+from repro.analysis.reporting import Table, format_seconds, format_si
+
+__all__ = [
+    "speedup",
+    "energy_efficiency",
+    "evaluate_level",
+    "compare_levels",
+    "EvaluationCell",
+    "Table",
+    "format_si",
+    "format_seconds",
+]

@@ -1,0 +1,99 @@
+"""Headline metrics: speedup and energy efficiency vs the GPU+SSD system.
+
+These are the quantities of paper Table 4 / Fig. 8 / Fig. 11:
+
+* ``speedup = T_baseline / T_deepstore`` for one full-database query;
+* ``energy efficiency = (perf/W)_deepstore / (perf/W)_gpu``, where the
+  GPU side uses the measured GPU power (nvidia-smi methodology) and the
+  DeepStore side uses modelled dynamic energy plus the SSD's base power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.baseline.system import GpuSsdSystem, QueryCost
+from repro.core.deepstore import DeepStoreSystem, QueryLatency
+from repro.ssd.ftl import DatabaseMetadata
+from repro.workloads.apps import AppSpec
+
+
+def speedup(baseline_seconds: float, deepstore_seconds: float) -> float:
+    """Baseline-over-DeepStore time ratio (>1 means DeepStore wins)."""
+    if baseline_seconds < 0 or deepstore_seconds <= 0:
+        raise ValueError("times must be positive")
+    return baseline_seconds / deepstore_seconds
+
+
+def energy_efficiency(
+    baseline_seconds: float,
+    baseline_power_w: float,
+    deepstore_seconds: float,
+    deepstore_power_w: float,
+) -> float:
+    """Perf-per-watt ratio vs the baseline (Fig. 11's y-axis)."""
+    if min(baseline_seconds, baseline_power_w, deepstore_seconds, deepstore_power_w) <= 0:
+        raise ValueError("times and powers must be positive")
+    baseline_ppw = 1.0 / (baseline_seconds * baseline_power_w)
+    deepstore_ppw = 1.0 / (deepstore_seconds * deepstore_power_w)
+    return deepstore_ppw / baseline_ppw
+
+
+@dataclass
+class EvaluationCell:
+    """One (application, level) cell of Table 4."""
+
+    app: str
+    level: str
+    supported: bool
+    speedup: float = 0.0
+    energy_efficiency: float = 0.0
+    deepstore: Optional[QueryLatency] = None
+    baseline: Optional[QueryCost] = None
+
+    @property
+    def bound(self) -> str:
+        return self.deepstore.bound if self.deepstore else "n/a"
+
+
+def evaluate_level(
+    app: AppSpec,
+    meta: DatabaseMetadata,
+    level: str,
+    baseline: Optional[GpuSsdSystem] = None,
+    deepstore: Optional[DeepStoreSystem] = None,
+) -> EvaluationCell:
+    """Compute one Table-4 cell."""
+    baseline = baseline or GpuSsdSystem()
+    deepstore = deepstore or DeepStoreSystem.at_level(level)
+    graph = app.build_scn()
+    cost = baseline.query_cost(app, meta.feature_count)
+    if not deepstore.supports(graph):
+        return EvaluationCell(app=app.name, level=level, supported=False,
+                              baseline=cost)
+    latency = deepstore.query_latency(app, meta, graph=graph)
+    return EvaluationCell(
+        app=app.name,
+        level=level,
+        supported=True,
+        speedup=speedup(cost.seconds, latency.total_seconds),
+        energy_efficiency=energy_efficiency(
+            cost.seconds,
+            baseline.gpu_only_power_w(),
+            latency.total_seconds,
+            latency.power_w,
+        ),
+        deepstore=latency,
+        baseline=cost,
+    )
+
+
+def compare_levels(
+    app: AppSpec,
+    meta: DatabaseMetadata,
+    levels: Iterable[str] = ("ssd", "channel", "chip"),
+    baseline: Optional[GpuSsdSystem] = None,
+) -> List[EvaluationCell]:
+    """All Table-4 cells for one application."""
+    return [evaluate_level(app, meta, level, baseline=baseline) for level in levels]

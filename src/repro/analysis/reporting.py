@@ -1,0 +1,99 @@
+"""Plain-text table/series rendering for benchmark output.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; :class:`Table` keeps the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_si(value: float, unit: str = "", precision: int = 2) -> str:
+    """Human-scale formatting: 1.05e6 -> '1.05M'."""
+    if value == 0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if magnitude >= threshold:
+            return f"{value / threshold:.{precision}f}{suffix}{unit}"
+    return f"{value:.{precision}f}{unit}"
+
+
+def format_seconds(seconds: float) -> str:
+    """Adaptive time formatting (us/ms/s)."""
+    if seconds < 0:
+        raise ValueError("negative time")
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+class Table:
+    """Fixed-width text table with a title and aligned columns."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cell count must match the columns."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the table as aligned fixed-width text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [f"== {self.title} ==", header, sep]
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console side effect
+        """Print the rendered table to stdout with a leading blank line."""
+        print()
+        print(self.render())
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """A one-line bar rendering of a numeric series.
+
+    Benchmarks use this to sketch figure *shapes* (saturation curves,
+    miss-rate declines) directly in text output.
+
+    >>> ascii_series([1, 2, 4, 8], width=8)
+    '▁▂▄█'
+    """
+    if not values:
+        raise ValueError("empty series")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    chars = []
+    for v in values[: max(1, width)]:
+        if span == 0:
+            chars.append(blocks[0])
+        else:
+            idx = int((v - lo) / span * (len(blocks) - 1))
+            chars.append(blocks[idx])
+    bar = "".join(chars)
+    return f"{label} {bar}" if label else bar

@@ -1,0 +1,27 @@
+"""The state-of-the-art GPU+SSD baseline (and in-SSD wimpy cores).
+
+The paper's comparison system stores the feature database on an NVMe SSD
+(Intel DC P4500, 3.2 GB/s measured) and runs the similarity comparison
+network on a discrete GPU (Titan Xp "Pascal" / Titan V "Volta"), with
+batches prefetched to host memory while the GPU computes the previous
+batch (§3, §6.1).  The wimpy-core baseline runs the SCN on the SSD's
+embedded 8-core ARM-A57 controller CPU (§6.2).
+"""
+
+from repro.baseline.gpu import GpuModel, GpuSpec, PASCAL_TITAN_XP, VOLTA_TITAN_V
+from repro.baseline.host import HostSystem
+from repro.baseline.system import BatchBreakdown, GpuSsdSystem, QueryCost
+from repro.baseline.wimpy import WimpyCoreModel, ARM_A57_OCTA
+
+__all__ = [
+    "GpuSpec",
+    "GpuModel",
+    "PASCAL_TITAN_XP",
+    "VOLTA_TITAN_V",
+    "HostSystem",
+    "GpuSsdSystem",
+    "BatchBreakdown",
+    "QueryCost",
+    "WimpyCoreModel",
+    "ARM_A57_OCTA",
+]

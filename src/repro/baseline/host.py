@@ -1,0 +1,57 @@
+"""Host-side storage and PCIe model for the baseline.
+
+The host reads feature-vector records from the SSD over NVMe (3.2 GB/s
+measured sequential) and copies staged batches to the GPU over PCIe.
+Per-record reads carry a fixed host-path overhead (NVMe command
+processing, filesystem metadata, block-layer bookkeeping) modelled as
+equivalent extra bytes per record — small-feature workloads therefore see
+a lower effective bandwidth, which is one reason they are the most
+I/O-dominated rows of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class HostSystem:
+    """Host/GPU interconnect and storage-path parameters (paper §6.1)."""
+
+    #: measured external sequential read bandwidth of the SSD
+    ssd_bandwidth: float = 3.2 * GB
+    #: effective host-to-device copy bandwidth (PCIe 3.0 x16, pinned)
+    pcie_bandwidth: float = 12.0 * GB
+    #: per-batch I/O submission/completion overhead
+    io_overhead_s: float = 30e-6
+    #: fixed host-path cost per feature record, expressed in equivalent
+    #: bytes at SSD bandwidth (calibration constant; see module docstring)
+    record_overhead_bytes: int = 512
+    #: host (CPU package + DRAM) power attributable to the scan
+    host_power_w: float = 80.0
+    #: SSD active-read power
+    ssd_power_w: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.ssd_bandwidth <= 0 or self.pcie_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.record_overhead_bytes < 0:
+            raise ValueError("record overhead cannot be negative")
+
+    # ------------------------------------------------------------------
+    def feature_read_bytes(self, feature_bytes: int) -> int:
+        """Effective bytes charged per feature record."""
+        if feature_bytes <= 0:
+            raise ValueError("feature_bytes must be positive")
+        return feature_bytes + self.record_overhead_bytes
+
+    def ssd_read_seconds(self, feature_bytes: int, batch: int) -> float:
+        """Time to read a batch of feature records from the SSD."""
+        nbytes = self.feature_read_bytes(feature_bytes) * batch
+        return nbytes / self.ssd_bandwidth + self.io_overhead_s
+
+    def memcpy_seconds(self, feature_bytes: int, batch: int) -> float:
+        """Host-to-device copy of the (unpadded) batch."""
+        return feature_bytes * batch / self.pcie_bandwidth

@@ -1,0 +1,143 @@
+"""The pipelined GPU+SSD query system.
+
+Per batch, the system (1) reads feature records from the SSD to host
+memory, (2) copies them to the GPU, and (3) runs the SCN.  The copy and
+compute of consecutive batches overlap via CUDA streams, but the SSD read
+is so large that prefetching "barely improves the performance" (paper §3)
+— steady-state batch time is ``ssd_read + max(memcpy, compute)``.
+
+Fig. 2 reports the three components' shares of total execution time;
+:class:`BatchBreakdown` carries them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baseline.gpu import GpuModel, GpuSpec, VOLTA_TITAN_V
+from repro.baseline.host import HostSystem
+from repro.nn.graph import Graph
+from repro.workloads.apps import AppSpec
+
+
+@dataclass
+class BatchBreakdown:
+    """Per-batch component times of the GPU+SSD pipeline (Fig. 2)."""
+
+    app: str
+    gpu: str
+    batch: int
+    ssd_read_s: float
+    memcpy_s: float
+    compute_s: float
+
+    @property
+    def serial_total_s(self) -> float:
+        """Sum of components — the basis of Fig. 2's percentage stacks."""
+        return self.ssd_read_s + self.memcpy_s + self.compute_s
+
+    @property
+    def pipelined_total_s(self) -> float:
+        """Steady-state batch latency with copy/compute overlap."""
+        return self.ssd_read_s + max(self.memcpy_s, self.compute_s)
+
+    @property
+    def io_fraction(self) -> float:
+        total = self.serial_total_s
+        return self.ssd_read_s / total if total > 0 else 0.0
+
+    def fractions(self) -> dict:
+        """Component shares of the serialized batch time (Fig. 2 stacks)."""
+        total = self.serial_total_s
+        if total <= 0:
+            return {"ssd_read": 0.0, "memcpy": 0.0, "compute": 0.0}
+        return {
+            "ssd_read": self.ssd_read_s / total,
+            "memcpy": self.memcpy_s / total,
+            "compute": self.compute_s / total,
+        }
+
+
+@dataclass
+class QueryCost:
+    """Cost of scanning a whole feature database for one query."""
+
+    seconds: float
+    seconds_per_feature: float
+    energy_j: float
+    breakdown: BatchBreakdown
+
+    @property
+    def power_w(self) -> float:
+        return self.energy_j / self.seconds if self.seconds > 0 else 0.0
+
+
+class GpuSsdSystem:
+    """The paper's state-of-the-art comparison system."""
+
+    def __init__(
+        self,
+        gpu: GpuSpec = VOLTA_TITAN_V,
+        host: Optional[HostSystem] = None,
+        num_ssds: int = 1,
+    ):
+        if num_ssds <= 0:
+            raise ValueError("num_ssds must be positive")
+        self.gpu_spec = gpu
+        self.gpu = GpuModel(gpu)
+        self.host = host or HostSystem()
+        self.num_ssds = num_ssds
+
+    # ------------------------------------------------------------------
+    def batch_breakdown(
+        self, app: AppSpec, batch: Optional[int] = None, graph: Optional[Graph] = None
+    ) -> BatchBreakdown:
+        """Component times for one batch of ``app`` (Fig. 2's unit)."""
+        batch = batch or app.eval_batch
+        graph = graph or app.build_scn()
+        ssd_read = (
+            self.host.ssd_read_seconds(app.feature_bytes, batch) / self.num_ssds
+        )
+        memcpy = self.host.memcpy_seconds(app.feature_bytes, batch)
+        compute = self.gpu.scn_batch_seconds(graph, batch)
+        return BatchBreakdown(
+            app=app.name,
+            gpu=self.gpu_spec.name,
+            batch=batch,
+            ssd_read_s=ssd_read,
+            memcpy_s=memcpy,
+            compute_s=compute,
+        )
+
+    def seconds_per_feature(
+        self, app: AppSpec, batch: Optional[int] = None
+    ) -> float:
+        """Steady-state pipelined time per database feature."""
+        bd = self.batch_breakdown(app, batch)
+        return bd.pipelined_total_s / bd.batch
+
+    def query_cost(
+        self, app: AppSpec, n_features: int, batch: Optional[int] = None
+    ) -> QueryCost:
+        """Scan ``n_features`` database vectors with one query."""
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        bd = self.batch_breakdown(app, batch)
+        n_batches = -(-n_features // bd.batch)
+        seconds = bd.pipelined_total_s * (n_features / bd.batch)
+        power = (
+            self.gpu_spec.power_w
+            + self.host.host_power_w
+            + self.host.ssd_power_w * self.num_ssds
+        )
+        return QueryCost(
+            seconds=seconds,
+            seconds_per_feature=seconds / n_features,
+            energy_j=seconds * power,
+            breakdown=bd,
+        )
+
+    def gpu_only_power_w(self) -> float:
+        """The power term the paper's Fig. 11 normalizes against."""
+        return self.gpu_spec.power_w

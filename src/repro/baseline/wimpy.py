@@ -1,0 +1,75 @@
+"""In-SSD wimpy-core baseline.
+
+Existing in-storage computing systems run computation on the SSD
+controller's embedded CPU.  The paper evaluates a "high-end 8-core
+ARM-A57" (§6.2) and finds it 4.5-22.8x slower than the GPU+SSD system —
+the motivation for real in-storage accelerators (Observation 2).
+
+The model is a simple sustained-FLOPs estimate: NEON fp32 FMA throughput
+across cores, derated by an achievable-efficiency factor for the small,
+cache-unfriendly GEMMs of similarity networks, racing the SSD's internal
+bandwidth (the cores sit behind the DRAM, so they do enjoy internal
+bandwidth — compute, not I/O, is their bottleneck).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.graph import Graph
+from repro.workloads.apps import AppSpec
+
+GFLOP = 1e9
+
+
+@dataclass(frozen=True)
+class WimpyCoreSpec:
+    """Embedded CPU parameters."""
+
+    name: str
+    cores: int
+    frequency_hz: float
+    #: fp32 FLOPs per cycle per core (NEON: 4-wide FMA = 8 FLOPs)
+    flops_per_cycle: float
+    #: sustained fraction of peak on SCN workloads
+    efficiency: float = 0.2
+    power_w: float = 15.0
+
+    @property
+    def peak_flops(self) -> float:
+        return self.cores * self.frequency_hz * self.flops_per_cycle
+
+    @property
+    def effective_flops(self) -> float:
+        return self.peak_flops * self.efficiency
+
+
+ARM_A57_OCTA = WimpyCoreSpec(
+    name="8-core ARM Cortex-A57",
+    cores=8,
+    frequency_hz=2.0e9,
+    flops_per_cycle=8.0,
+)
+
+
+class WimpyCoreModel:
+    """Query-time model for SCN execution on the embedded cores."""
+
+    def __init__(self, spec: WimpyCoreSpec = ARM_A57_OCTA, internal_bandwidth: float = 25.6e9):
+        if internal_bandwidth <= 0:
+            raise ValueError("internal bandwidth must be positive")
+        self.spec = spec
+        self.internal_bandwidth = internal_bandwidth
+
+    def seconds_per_feature(self, app: AppSpec, graph: Graph | None = None) -> float:
+        """Per-feature SCN time: max of compute and internal I/O."""
+        graph = graph or app.build_scn()
+        compute = graph.total_flops() / self.spec.effective_flops
+        io = app.feature_bytes / self.internal_bandwidth
+        return max(compute, io)
+
+    def query_seconds(self, app: AppSpec, n_features: int) -> float:
+        """Full-database scan time for one query on the embedded cores."""
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        return self.seconds_per_feature(app) * n_features

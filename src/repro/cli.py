@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, self-contained runners over the library for the common questions:
+
+=============  ==========================================================
+``info``       versions, SSD geometry, accelerator placements
+``table1``     the five applications vs their published Table-1 rows
+``breakdown``  GPU+SSD time breakdown at the evaluation batch (Fig. 2)
+``speedup``    per-app, per-level speedup & energy efficiency (Table 4)
+``dse``        PE scaling curves (Fig. 6)
+``cache``      a query-cache simulation (Fig. 13-style point)
+``demo``       a real end-to-end query with planted neighbors
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.core.placement import LEVELS
+    from repro.ssd import SsdConfig
+
+    config = SsdConfig()
+    geo = config.geometry
+    print(f"repro {repro.__version__} — DeepStore (MICRO-52 2019) reproduction")
+    print(
+        f"SSD: {geo.channels} channels x {geo.chips_per_channel} chips x "
+        f"{geo.planes_per_chip} planes, {geo.page_bytes // 1024} KB pages, "
+        f"{geo.capacity_bytes / 1024**4:.1f} TiB"
+    )
+    print(
+        f"Bandwidth: {config.timing.channel_bandwidth / 1e6:.0f} MB/s per "
+        f"channel ({config.internal_bandwidth / 1e9:.1f} GB/s internal), "
+        f"{config.external_bandwidth / 1e9:.1f} GB/s external"
+    )
+    print(f"Accelerator power budget: {config.accelerator_power_budget_w:.0f} W")
+    for name, p in LEVELS.items():
+        print(
+            f"  {name:8s} {p.systolic.rows}x{p.systolic.cols} "
+            f"{p.systolic.dataflow} @ {p.systolic.frequency_hz / 1e6:.0f} MHz, "
+            f"{p.scratchpad_bytes // 1024} KB scratchpad, "
+            f"{p.area_mm2} mm^2, x{p.count(config)}"
+        )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis import Table, format_si
+    from repro.workloads import ALL_APPS
+
+    table = Table(
+        "Table 1 (measured vs paper)",
+        ["App", "Feature", "Layers c/f/e", "FLOPs", "Weights", "paper FLOPs"],
+    )
+    for name, app in ALL_APPS.items():
+        graph = app.build_scn()
+        counts = graph.count_layers()
+        table.add_row(
+            name,
+            f"{app.feature_bytes / 1024:.1f}KB",
+            f"{counts['conv']}/{counts['fc']}/{counts['elementwise']}",
+            format_si(graph.total_flops()),
+            f"{graph.weight_bytes() / 2**20:.2f}MiB",
+            format_si(app.table1.total_flops),
+        )
+    table.print()
+    return 0
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    from repro.analysis import Table, format_seconds
+    from repro.baseline import GpuSsdSystem
+    from repro.workloads import ALL_APPS
+
+    system = GpuSsdSystem()
+    table = Table(
+        "Fig. 2: GPU+SSD breakdown at the evaluation batch",
+        ["App", "Batch", "SSD read %", "Memcpy %", "Compute %", "Batch time"],
+    )
+    for name, app in ALL_APPS.items():
+        bd = system.batch_breakdown(app)
+        f = bd.fractions()
+        table.add_row(
+            name, bd.batch,
+            f"{f['ssd_read'] * 100:5.1f}", f"{f['memcpy'] * 100:5.1f}",
+            f"{f['compute'] * 100:5.1f}", format_seconds(bd.serial_total_s),
+        )
+    table.print()
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    from repro.analysis import Table, compare_levels
+    from repro.ssd import Ssd
+    from repro.workloads import ALL_APPS, get_app
+
+    ssd = Ssd()
+    apps = [get_app(args.app)] if args.app else list(ALL_APPS.values())
+    table = Table(
+        f"Speedup / energy-efficiency vs GPU+SSD ({args.gigabytes:.0f} GB DBs)",
+        ["App", "SSD-lvl", "Channel", "Chip", "EE channel"],
+    )
+    for app in apps:
+        meta = ssd.ftl.create_database(
+            app.feature_bytes, int(args.gigabytes * 1e9 / app.feature_bytes)
+        )
+        row = {c.level: c for c in compare_levels(app, meta)}
+
+        def fmt(level, energy=False):
+            cell = row[level]
+            if not cell.supported:
+                return "n/a"
+            value = cell.energy_efficiency if energy else cell.speedup
+            return f"{value:6.2f}x"
+
+        table.add_row(app.name, fmt("ssd"), fmt("channel"), fmt("chip"),
+                      fmt("channel", energy=True))
+    table.print()
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.analysis import Table
+    from repro.core.dse import explore_pe_scaling
+
+    table = Table("Fig. 6: speedup vs #PEs", ["#PEs", "FC", "ConvD"])
+    for pf, pc in zip(explore_pe_scaling("fc"), explore_pe_scaling("conv")):
+        table.add_row(pf.num_pes, f"{pf.speedup:5.2f}x", f"{pc.speedup:5.2f}x")
+    table.print()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.core.query_cache import (
+        CacheTimingModel,
+        EmbeddingComparator,
+        QueryCache,
+        QueryCacheSimulator,
+    )
+    from repro.workloads import QueryStream
+
+    stream = QueryStream(
+        dim=256, n_intents=args.intents, distribution=args.distribution,
+        alpha=args.alpha, paraphrase_noise=0.15, noise_spread=0.85, seed=1,
+    )
+    cache = QueryCache(
+        capacity=args.entries,
+        comparator=EmbeddingComparator(),
+        qcn_accuracy=0.98,
+        threshold=args.threshold,
+    )
+    timing = CacheTimingModel(0.3e-6, 300e-6, args.scan_ms * 1e-3)
+    report = QueryCacheSimulator(cache, timing).run(
+        stream.generate(args.queries), warmup=args.queries // 4
+    )
+    print(
+        f"{args.distribution} stream, {args.entries} entries, "
+        f"threshold {args.threshold * 100:.0f}%:"
+    )
+    print(f"  miss rate     {report.miss_rate * 100:5.1f}%")
+    print(f"  mean query    {report.mean_seconds * 1e3:.2f} ms "
+          f"(scan {args.scan_ms:.1f} ms)")
+    print(f"  speedup       {report.speedup_over(args.scan_ms * 1e-3):.2f}x "
+          f"over no-cache")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.capacity import PlanningError, plan_deployment
+
+    try:
+        plans = plan_deployment(
+            args.app, corpus_features=args.features, target_qps=args.qps,
+        )
+    except PlanningError as exc:
+        print(f"infeasible: {exc}")
+        return 1
+    for plan in plans[:6]:
+        print(plan.describe())
+    return 0 if plans and plans[0].feasible else 1
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from repro.analysis.scorecard import build_scorecard
+
+    card = build_scorecard(gigabytes=args.gigabytes)
+    if args.json:
+        print(card.to_json())
+    else:
+        print(card.render())
+    return 0 if card.structural_ok else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import DeepStoreDevice
+    from repro.analysis import format_seconds
+    from repro.workloads import get_app, plant_neighbors, train_scn
+
+    app = get_app(args.app)
+    rng = np.random.default_rng(args.seed)
+    print(f"Training {app.name} SCN...")
+    scn = train_scn(app, seed=args.seed)
+    features = rng.normal(0, 1, (args.features, app.feature_floats)).astype(
+        np.float32
+    )
+    intent = rng.normal(0, 1, app.feature_floats).astype(np.float32)
+    features, planted = plant_neighbors(features, intent, k=5, noise=0.2, seed=2)
+    qfv = intent + rng.normal(0, 0.2, app.feature_floats).astype(np.float32)
+
+    device = DeepStoreDevice(level=args.level)
+    db = device.write_db(features)
+    model = device.load_graph(scn)
+    result = device.get_results(device.query(qfv, 10, model, db))
+    recall = len(set(result.feature_ids.tolist()) & set(planted.tolist()))
+    print(f"top-10: {result.feature_ids.tolist()}")
+    print(f"recall of planted neighbors: {recall}/5")
+    print(f"modelled latency: {format_seconds(result.seconds)} "
+          f"({result.latency.bound}-bound, {result.latency.accel_count} accels)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepStore reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="versions, geometry, placements")
+    sub.add_parser("table1", help="application characteristics")
+    sub.add_parser("breakdown", help="GPU+SSD time breakdown (Fig. 2)")
+
+    speedup = sub.add_parser("speedup", help="Table-4 speedups")
+    speedup.add_argument("--app", choices=["reid", "mir", "estp", "tir", "textqa"])
+    speedup.add_argument("--gigabytes", type=float, default=25.0)
+
+    sub.add_parser("dse", help="PE scaling (Fig. 6)")
+
+    cache = sub.add_parser("cache", help="query-cache simulation")
+    cache.add_argument("--distribution", choices=["uniform", "zipf"], default="zipf")
+    cache.add_argument("--alpha", type=float, default=0.7)
+    cache.add_argument("--entries", type=int, default=512)
+    cache.add_argument("--intents", type=int, default=2000)
+    cache.add_argument("--queries", type=int, default=1200)
+    cache.add_argument("--threshold", type=float, default=0.10)
+    cache.add_argument("--scan-ms", type=float, default=30.0)
+
+    plan = sub.add_parser("plan", help="deployment capacity planning")
+    plan.add_argument("--app", default="tir",
+                      choices=["reid", "mir", "estp", "tir", "textqa"])
+    plan.add_argument("--features", type=int, default=10_000_000)
+    plan.add_argument("--qps", type=float, default=1.0)
+
+    scorecard = sub.add_parser(
+        "scorecard", help="measured-vs-paper reproduction scorecard"
+    )
+    scorecard.add_argument("--gigabytes", type=float, default=25.0)
+    scorecard.add_argument("--json", action="store_true")
+
+    demo = sub.add_parser("demo", help="end-to-end functional query")
+    demo.add_argument("--app", default="tir",
+                      choices=["reid", "mir", "estp", "tir", "textqa"])
+    demo.add_argument("--level", default="channel",
+                      choices=["ssd", "channel", "chip"])
+    demo.add_argument("--features", type=int, default=10_000)
+    demo.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+COMMANDS = {
+    "info": _cmd_info,
+    "table1": _cmd_table1,
+    "breakdown": _cmd_breakdown,
+    "speedup": _cmd_speedup,
+    "dse": _cmd_dse,
+    "cache": _cmd_cache,
+    "plan": _cmd_plan,
+    "scorecard": _cmd_scorecard,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,408 @@
+"""The DeepStore programming API (paper Table 2).
+
+:class:`DeepStoreDevice` is a functional stand-in for a DeepStore SSD: it
+implements ``readDB`` / ``writeDB`` / ``appendDB`` / ``loadModel`` /
+``query`` / ``getResults`` / ``setQC`` with real behaviour (feature data
+is stored, models execute in numpy, top-K results are genuinely the
+highest-scoring features) *and* simulated cost (every query carries the
+:class:`~repro.core.deepstore.QueryLatency` the hardware model predicts).
+
+This is the public surface examples and downstream users program against:
+
+>>> device = DeepStoreDevice()                      # doctest: +SKIP
+>>> db = device.write_db(features)                  # doctest: +SKIP
+>>> model = device.load_model(graph_to_bytes(scn))  # doctest: +SKIP
+>>> handle = device.query(qfv, k=10, model_id=model, db_id=db)
+>>> result = device.get_results(handle)             # doctest: +SKIP
+
+Method names follow Python conventions; each maps 1:1 to a Table-2 call
+(``write_db`` = ``writeDB``, etc.).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.deepstore import DeepStoreSystem, QueryLatency
+from repro.core.placement import LEVELS, CHANNEL_LEVEL
+from repro.core.query_cache import EmbeddingComparator, QueryCache
+from repro.nn import Graph, graph_from_bytes
+from repro.ssd.ftl import DatabaseMetadata
+from repro.ssd.ssd import Ssd
+from repro.ssd.timing import SsdConfig
+
+
+class DeepStoreApiError(RuntimeError):
+    """Raised for invalid handles or malformed requests."""
+
+
+@dataclass
+class QueryHandle:
+    """Opaque handle returned by ``query`` (the paper's query_id)."""
+
+    query_id: int
+
+
+@dataclass
+class QueryResult:
+    """Top-K results plus the modelled execution cost."""
+
+    query_id: int
+    feature_ids: np.ndarray  # indices into the database
+    scores: np.ndarray  # SCN similarity scores, best first
+    object_ids: np.ndarray  # physical flash addresses of the features
+    latency: QueryLatency
+    cache_hit: bool = False
+    #: DMA time for getResults to copy the top-K (feature vectors +
+    #: ObjectIDs) to host memory (paper §4.2)
+    transfer_seconds: float = 0.0
+
+    @property
+    def k(self) -> int:
+        return len(self.feature_ids)
+
+    @property
+    def seconds(self) -> float:
+        return self.latency.total_seconds
+
+    @property
+    def seconds_to_host(self) -> float:
+        """Query latency plus the result DMA."""
+        return self.latency.total_seconds + self.transfer_seconds
+
+
+class DeepStoreDevice:
+    """A DeepStore-enabled SSD, functional + timed."""
+
+    #: features scored per numpy chunk during a functional scan
+    SCAN_CHUNK = 8192
+
+    def __init__(
+        self,
+        ssd: Optional[SsdConfig] = None,
+        level: str = "channel",
+        seed: int = 0,
+    ):
+        if level not in LEVELS:
+            raise DeepStoreApiError(f"unknown accelerator level {level!r}")
+        self.ssd = Ssd(ssd)
+        self.level = level
+        self._systems: Dict[str, DeepStoreSystem] = {}
+        self._feature_store: Dict[int, np.ndarray] = {}
+        self._models: Dict[int, Graph] = {}
+        self._next_model_id = 1
+        self._next_query_id = 1
+        self._results: Dict[int, QueryResult] = {}
+        self._cache: Optional[QueryCache] = None
+        self._cache_lookup_seconds_per_entry = 0.0
+        self._ingest_seconds: Dict[int, float] = {}
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # database management (writeDB / appendDB / readDB)
+    # ------------------------------------------------------------------
+    def write_db(self, features: np.ndarray) -> int:
+        """``writeDB``: create a database from an (N, dim) feature array."""
+        features = self._check_features(features)
+        meta = self.ssd.ftl.create_database(
+            feature_bytes=features.shape[1] * 4, feature_count=features.shape[0]
+        )
+        self._feature_store[meta.db_id] = features.copy()
+        self.ssd.dram.allocate(f"db{meta.db_id}-metadata", meta.METADATA_BYTES)
+        self._ingest_seconds[meta.db_id] = self.ssd.database_write_seconds(meta)
+        return meta.db_id
+
+    def append_db(self, db_id: int, features: np.ndarray) -> None:
+        """``appendDB``: append features to an existing database."""
+        features = self._check_features(features)
+        meta = self.ssd.ftl.get(db_id)
+        if features.shape[1] * 4 != meta.feature_bytes:
+            raise DeepStoreApiError(
+                f"feature size {features.shape[1] * 4} does not match "
+                f"database {db_id}'s {meta.feature_bytes} bytes"
+            )
+        pages_before = meta.total_pages
+        self.ssd.ftl.append(db_id, features.shape[0])
+        self._feature_store[db_id] = np.concatenate(
+            [self._feature_store[db_id], features]
+        )
+        appended = DatabaseMetadata(
+            db_id=db_id,
+            feature_bytes=meta.feature_bytes,
+            feature_count=max(1, features.shape[0]),
+            page_bytes=meta.page_bytes,
+        )
+        self._ingest_seconds[db_id] = (
+            self._ingest_seconds.get(db_id, 0.0)
+            + self.ssd.database_write_seconds(appended)
+        )
+
+    def read_db(self, db_id: int, start: int = 0, num: Optional[int] = None) -> np.ndarray:
+        """``readDB``: read ``num`` features starting at ``start``."""
+        store = self._store(db_id)
+        if num is None:
+            num = len(store) - start
+        if start < 0 or num < 0 or start + num > len(store):
+            raise DeepStoreApiError(
+                f"range [{start}, {start + num}) out of bounds for db {db_id}"
+            )
+        return store[start : start + num].copy()
+
+    def database_metadata(self, db_id: int) -> DatabaseMetadata:
+        """The FTL's metadata record for a database."""
+        return self.ssd.ftl.get(db_id)
+
+    def ingest_seconds(self, db_id: int) -> float:
+        """Modelled time spent writing/appending this database to flash."""
+        self.ssd.ftl.get(db_id)  # validate the handle
+        return self._ingest_seconds.get(db_id, 0.0)
+
+    # ------------------------------------------------------------------
+    # models (loadModel)
+    # ------------------------------------------------------------------
+    def load_model(self, blob: bytes) -> int:
+        """``loadModel``: register an ONNX-format model blob."""
+        graph = graph_from_bytes(blob)
+        model_id = self._next_model_id
+        self._next_model_id += 1
+        self._models[model_id] = graph
+        self.ssd.dram.allocate(f"model{model_id}", len(blob))
+        return model_id
+
+    def load_graph(self, graph: Graph) -> int:
+        """Convenience: register an in-memory graph directly."""
+        model_id = self._next_model_id
+        self._next_model_id += 1
+        self._models[model_id] = graph
+        self.ssd.dram.allocate(f"model{model_id}", graph.weight_bytes())
+        return model_id
+
+    # ------------------------------------------------------------------
+    # query cache (setQC)
+    # ------------------------------------------------------------------
+    def set_qc(
+        self,
+        threshold: float,
+        capacity: int = 1024,
+        qcn_accuracy: float = 0.98,
+        comparator: Optional[EmbeddingComparator] = None,
+        lookup_seconds_per_entry: float = 0.3e-6,
+    ) -> None:
+        """``setQC``: configure the similarity query cache."""
+        self._cache = QueryCache(
+            capacity=capacity,
+            comparator=comparator or EmbeddingComparator(),
+            qcn_accuracy=qcn_accuracy,
+            threshold=threshold,
+        )
+        self._cache_lookup_seconds_per_entry = lookup_seconds_per_entry
+
+    @property
+    def query_cache(self) -> Optional[QueryCache]:
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # query / getResults
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        qfv: np.ndarray,
+        k: int,
+        model_id: int,
+        db_id: int,
+        db_start: int = 0,
+        db_end: Optional[int] = None,
+        accel_level: Optional[str] = None,
+    ) -> QueryHandle:
+        """``query``: scan (a sub-range of) a database with one QFV."""
+        if k <= 0:
+            raise DeepStoreApiError("K must be positive")
+        graph = self._models.get(model_id)
+        if graph is None:
+            raise DeepStoreApiError(f"unknown model id {model_id}")
+        store = self._store(db_id)
+        meta = self.ssd.ftl.get(db_id)
+        db_end = len(store) if db_end is None else db_end
+        if not 0 <= db_start < db_end <= len(store):
+            raise DeepStoreApiError(f"bad db range [{db_start}, {db_end})")
+        level = accel_level or self.level
+        system = self._system(level)
+        if not system.supports(graph):
+            raise DeepStoreApiError(
+                f"model {graph.name!r} is not supported at the {level} level"
+            )
+
+        qfv = np.asarray(qfv, dtype=np.float32).reshape(-1)
+        if qfv.size * 4 != meta.feature_bytes:
+            raise DeepStoreApiError(
+                f"QFV size {qfv.size * 4} bytes does not match database "
+                f"feature size {meta.feature_bytes}"
+            )
+
+        cache_hit = False
+        if self._cache is not None:
+            lookup = self._cache.lookup(qfv)
+            if lookup.hit and lookup.entry is not None:
+                candidates = lookup.entry.topk_feature_ids
+                scores = self._score_features(graph, qfv, store[candidates])
+                order = np.argsort(-scores)[:k]
+                result = self._build_result(
+                    meta, candidates[order], scores[order],
+                    self._hit_latency(graph, meta, lookup.entries_scanned, k),
+                    cache_hit=True,
+                )
+                return self._register(result)
+
+        # full scan (the map-reduce path)
+        ids, scores = self._scan(graph, qfv, store, db_start, db_end, k)
+        sliced = self._sliced_meta(meta, db_end - db_start)
+        latency = system.latency_for(
+            graph, sliced, feature_bytes=meta.feature_bytes, name=graph.name
+        )
+        if self._cache is not None:
+            self._cache.insert(qfv, scores, ids)
+            lookup_cost = len(self._cache) * self._cache_lookup_seconds_per_entry
+            latency = dataclasses.replace(
+                latency, engine_seconds=latency.engine_seconds + lookup_cost
+            )
+        result = self._build_result(meta, ids, scores, latency, cache_hit)
+        return self._register(result)
+
+    def get_results(self, handle: QueryHandle) -> QueryResult:
+        """``getResults``: fetch a completed query's top-K."""
+        result = self._results.get(handle.query_id)
+        if result is None:
+            raise DeepStoreApiError(f"unknown query id {handle.query_id}")
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _system(self, level: str) -> DeepStoreSystem:
+        system = self._systems.get(level)
+        if system is None:
+            system = DeepStoreSystem(self.ssd.config, placement=LEVELS[level])
+            self._systems[level] = system
+        return system
+
+    def _store(self, db_id: int) -> np.ndarray:
+        store = self._feature_store.get(db_id)
+        if store is None:
+            raise DeepStoreApiError(f"unknown database id {db_id}")
+        return store
+
+    @staticmethod
+    def _check_features(features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float32)
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise DeepStoreApiError("features must be a non-empty (N, dim) array")
+        return features
+
+    def _scan(
+        self,
+        graph: Graph,
+        qfv: np.ndarray,
+        store: np.ndarray,
+        start: int,
+        end: int,
+        k: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Chunked functional SCN scan; returns top-K (ids, scores)."""
+        best_ids: List[int] = []
+        best_scores: List[float] = []
+        for chunk_start in range(start, end, self.SCAN_CHUNK):
+            chunk_end = min(end, chunk_start + self.SCAN_CHUNK)
+            chunk = store[chunk_start:chunk_end]
+            scores = self._score_features(graph, qfv, chunk)
+            take = min(k, len(scores))
+            top = np.argpartition(-scores, take - 1)[:take]
+            best_ids.extend((top + chunk_start).tolist())
+            best_scores.extend(scores[top].tolist())
+        order = np.argsort(-np.asarray(best_scores))[:k]
+        ids = np.asarray(best_ids, dtype=np.int64)[order]
+        scores = np.asarray(best_scores, dtype=np.float32)[order]
+        return ids, scores
+
+    def _score_features(
+        self, graph: Graph, qfv: np.ndarray, features: np.ndarray
+    ) -> np.ndarray:
+        q_id, d_id = graph.input_ids
+        n = len(features)
+        q_shape = graph.shape_of(q_id)
+        d_shape = graph.shape_of(d_id)
+        q_batch = np.broadcast_to(qfv.reshape(q_shape), (n, *q_shape))
+        d_batch = features.reshape((n, *d_shape))
+        out = graph.forward(
+            {q_id: np.ascontiguousarray(q_batch), d_id: np.ascontiguousarray(d_batch)}
+        )
+        return out.reshape(-1)
+
+    def _sliced_meta(self, meta: DatabaseMetadata, count: int) -> DatabaseMetadata:
+        if count == meta.feature_count:
+            return meta
+        sliced = DatabaseMetadata(
+            db_id=meta.db_id,
+            feature_bytes=meta.feature_bytes,
+            feature_count=count,
+            page_bytes=meta.page_bytes,
+        )
+        sliced.extents = meta.extents
+        return sliced
+
+    def _hit_latency(
+        self, graph: Graph, meta: DatabaseMetadata, entries_scanned: int, k: int
+    ) -> QueryLatency:
+        """Cache-hit cost: QCN lookup + SCN over the cached top-K."""
+        system = self._system(self.level)
+        tiny = self._sliced_meta(meta, max(1, k))
+        latency = system.latency_for(
+            graph, tiny, feature_bytes=meta.feature_bytes, name=graph.name
+        )
+        lookup_cost = entries_scanned * self._cache_lookup_seconds_per_entry
+        return dataclasses.replace(
+            latency, engine_seconds=latency.engine_seconds + lookup_cost
+        )
+
+    def _build_result(
+        self,
+        meta: DatabaseMetadata,
+        ids: np.ndarray,
+        scores: np.ndarray,
+        latency: QueryLatency,
+        cache_hit: bool,
+    ) -> QueryResult:
+        object_ids = np.asarray(
+            [self._object_id(meta, int(i)) for i in ids], dtype=np.int64
+        )
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        transfer = self._system(self.level).engine.result_transfer_seconds(
+            max(1, len(ids)), meta.feature_bytes
+        )
+        return QueryResult(
+            query_id=query_id,
+            feature_ids=np.asarray(ids, dtype=np.int64),
+            scores=np.asarray(scores, dtype=np.float32),
+            object_ids=object_ids,
+            latency=latency,
+            cache_hit=cache_hit,
+            transfer_seconds=transfer,
+        )
+
+    def _object_id(self, meta: DatabaseMetadata, feature_index: int) -> int:
+        """Physical byte address of a feature (the paper's ObjectID)."""
+        page_offset, _ = meta.feature_page_span(feature_index)
+        ppn = meta.page_offset_to_ppn(page_offset)
+        if meta.page_aligned:
+            in_page = 0
+        else:
+            in_page = (feature_index % meta.features_per_page) * meta.feature_bytes
+        return ppn * meta.page_bytes + in_page
+
+    def _register(self, result: QueryResult) -> QueryHandle:
+        self._results[result.query_id] = result
+        return QueryHandle(query_id=result.query_id)

@@ -1,0 +1,161 @@
+"""Deployment capacity planning.
+
+A downstream user of DeepStore has a corpus, an application, and a target
+query rate; the models in this repo answer the provisioning question
+directly: *which accelerator level, how many SSDs, and how much query
+cache does that workload need?*
+
+:func:`plan_deployment` walks the feasible configurations in cost order
+(devices are the expensive resource, cache DRAM is nearly free) and
+returns the cheapest plan meeting the target, with its predicted
+latency/utilization — or the closest-miss plan flagged infeasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.deepstore import DeepStoreSystem
+from repro.core.placement import LEVELS
+from repro.ssd import Ssd, SsdConfig
+from repro.workloads.apps import AppSpec, get_app
+
+
+@dataclass
+class DeploymentPlan:
+    """One provisioning option and its predicted behaviour."""
+
+    app: str
+    level: str
+    num_ssds: int
+    cache_entries: int
+    expected_miss_rate: float
+    query_seconds: float  # full-scan (miss) latency with this provisioning
+    effective_qps: float  # sustainable rate at the expected miss rate
+    target_qps: float
+    feasible: bool
+
+    @property
+    def utilization(self) -> float:
+        if self.effective_qps <= 0:
+            return float("inf")
+        return self.target_qps / self.effective_qps
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the plan."""
+        status = "OK" if self.feasible else "INSUFFICIENT"
+        return (
+            f"[{status}] {self.app} @ {self.level} level x{self.num_ssds} "
+            f"SSD(s), {self.cache_entries}-entry cache "
+            f"(miss {self.expected_miss_rate * 100:.0f}%): scan "
+            f"{self.query_seconds * 1e3:.1f} ms, sustains "
+            f"{self.effective_qps:.2f} qps vs target {self.target_qps:.2f} "
+            f"({self.utilization * 100:.0f}% utilization)"
+        )
+
+
+class PlanningError(ValueError):
+    """Raised for impossible inputs."""
+
+
+def _miss_rate_estimate(cache_entries: int, n_intents: int,
+                        zipf_alpha: float) -> float:
+    """Closed-form steady-state miss estimate for a Zipf intent stream.
+
+    A cache of ``E`` entries under LRU holds roughly the ``E`` most
+    popular intents; the miss rate is the tail mass of the Zipf law.
+    """
+    if cache_entries <= 0:
+        return 1.0
+    if cache_entries >= n_intents:
+        return 0.0
+    import numpy as np
+
+    ranks = np.arange(1, n_intents + 1, dtype=np.float64)
+    weights = ranks ** (-zipf_alpha)
+    probs = weights / weights.sum()
+    return float(probs[cache_entries:].sum())
+
+
+def plan_deployment(
+    app: AppSpec | str,
+    corpus_features: int,
+    target_qps: float,
+    n_intents: int = 5000,
+    zipf_alpha: float = 0.7,
+    max_ssds: int = 16,
+    cache_options: tuple = (0, 256, 1024, 4096),
+    ssd_config: Optional[SsdConfig] = None,
+) -> List[DeploymentPlan]:
+    """All evaluated plans, cheapest-feasible first.
+
+    Cost order: fewer SSDs beat more SSDs; within a device count, larger
+    caches are free enough to prefer whenever they help.  Levels are
+    ranked by measured query time, not assumed.
+    """
+    if isinstance(app, str):
+        app = get_app(app)
+    if corpus_features <= 0:
+        raise PlanningError("corpus_features must be positive")
+    if target_qps <= 0:
+        raise PlanningError("target_qps must be positive")
+    ssd_config = ssd_config or SsdConfig()
+
+    capacity_features = int(
+        ssd_config.geometry.capacity_bytes * 0.9 / app.feature_bytes
+    )
+    min_ssds_for_capacity = max(1, -(-corpus_features // capacity_features))
+    if min_ssds_for_capacity > max_ssds:
+        raise PlanningError(
+            f"corpus of {corpus_features} x {app.feature_bytes} B features "
+            f"needs at least {min_ssds_for_capacity} SSDs for capacity "
+            f"alone (max_ssds={max_ssds})"
+        )
+
+    plans: List[DeploymentPlan] = []
+    graph = app.build_scn()
+    for num_ssds in range(min_ssds_for_capacity, max_ssds + 1):
+        per_ssd_features = -(-corpus_features // num_ssds)
+        ssd = Ssd(ssd_config)
+        meta = ssd.ftl.create_database(app.feature_bytes, per_ssd_features)
+        level_costs: Dict[str, float] = {}
+        for level, placement in LEVELS.items():
+            if not placement.supports(graph):
+                continue
+            system = DeepStoreSystem(ssd_config, placement=placement)
+            level_costs[level] = system.query_latency(
+                app, meta, graph=graph
+            ).total_seconds
+        best_level = min(level_costs, key=level_costs.get)
+        scan_seconds = level_costs[best_level]
+        for cache_entries in cache_options:
+            miss = _miss_rate_estimate(cache_entries, n_intents, zipf_alpha)
+            lookup = cache_entries * 0.3e-6
+            hit_seconds = 300e-6
+            mean = lookup + miss * scan_seconds + (1 - miss) * hit_seconds
+            qps = 1.0 / mean if mean > 0 else float("inf")
+            plans.append(
+                DeploymentPlan(
+                    app=app.name,
+                    level=best_level,
+                    num_ssds=num_ssds,
+                    cache_entries=cache_entries,
+                    expected_miss_rate=miss,
+                    query_seconds=scan_seconds,
+                    effective_qps=qps,
+                    target_qps=target_qps,
+                    feasible=qps >= target_qps,
+                )
+            )
+        if any(p.feasible and p.num_ssds == num_ssds for p in plans):
+            break  # cheapest device count found; no need to add more
+
+    plans.sort(key=lambda p: (not p.feasible, p.num_ssds, p.cache_entries))
+    return plans
+
+
+def best_plan(*args, **kwargs) -> DeploymentPlan:
+    """The cheapest feasible plan (or the closest miss, flagged)."""
+    plans = plan_deployment(*args, **kwargs)
+    return plans[0]

@@ -1,0 +1,292 @@
+"""Vendor-specific NVMe command layer (paper §4.7.2).
+
+"These APIs internally use new NVMe commands to interact with the query
+engine."  This module implements that wire boundary: each Table-2 call is
+encoded as a fixed 64-byte command header (modeled on an NVMe submission
+queue entry: opcode + command id + dword parameters) plus an optional
+data payload, and decoded back on the device side.  The
+:class:`CommandTransport` pairs with :class:`~repro.core.api.
+DeepStoreDevice` to execute commands, and accounts the transfer time of
+command + payload over the host link — so using the API through the
+transport costs what a real submission would.
+
+Commands (vendor-specific opcode space 0xC0+):
+
+=========  =====  ==============================================
+READ_DB    0xC0   db_id, start, num -> features payload
+WRITE_DB   0xC1   feature payload -> db_id
+APPEND_DB  0xC2   db_id + feature payload
+LOAD_MODEL 0xC3   model blob -> model_id
+QUERY      0xC4   qfv payload + (k, model, db, range, level)
+GET_RESULT 0xC5   query_id -> result payload
+SET_QC     0xC6   threshold, capacity, accuracy
+=========  =====  ==============================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+HEADER_FORMAT = "<BxHIQQQQQQQ"  # opcode, pad, flags, cid, 7 qword params
+HEADER_BYTES = struct.calcsize(HEADER_FORMAT)
+assert HEADER_BYTES == 64
+
+OP_READ_DB = 0xC0
+OP_WRITE_DB = 0xC1
+OP_APPEND_DB = 0xC2
+OP_LOAD_MODEL = 0xC3
+OP_QUERY = 0xC4
+OP_GET_RESULT = 0xC5
+OP_SET_QC = 0xC6
+
+OPCODES = {
+    OP_READ_DB: "READ_DB",
+    OP_WRITE_DB: "WRITE_DB",
+    OP_APPEND_DB: "APPEND_DB",
+    OP_LOAD_MODEL: "LOAD_MODEL",
+    OP_QUERY: "QUERY",
+    OP_GET_RESULT: "GET_RESULT",
+    OP_SET_QC: "SET_QC",
+}
+
+_LEVEL_CODES = {"ssd": 0, "channel": 1, "chip": 2}
+_LEVEL_NAMES = {v: k for k, v in _LEVEL_CODES.items()}
+
+
+class CommandError(ValueError):
+    """Raised for malformed commands."""
+
+
+@dataclass(frozen=True)
+class Command:
+    """One encoded submission: 64-byte header + optional payload."""
+
+    opcode: int
+    command_id: int
+    params: Tuple[int, ...]  # up to 7 unsigned qwords
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.opcode not in OPCODES:
+            raise CommandError(f"unknown opcode 0x{self.opcode:02x}")
+        if len(self.params) > 7:
+            raise CommandError("at most 7 qword parameters")
+        if any(p < 0 for p in self.params):
+            raise CommandError("parameters are unsigned")
+
+    @property
+    def name(self) -> str:
+        return OPCODES[self.opcode]
+
+    def encode(self) -> bytes:
+        """Pack the 64-byte header and append the payload."""
+        params = tuple(self.params) + (0,) * (7 - len(self.params))
+        header = struct.pack(
+            HEADER_FORMAT, self.opcode, 0, self.command_id, *params
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "Command":
+        if len(blob) < HEADER_BYTES:
+            raise CommandError(f"short command: {len(blob)} bytes")
+        opcode, _flags, cid, *params = struct.unpack_from(HEADER_FORMAT, blob)
+        return cls(
+            opcode=opcode,
+            command_id=cid,
+            params=tuple(params),
+            payload=blob[HEADER_BYTES:],
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return HEADER_BYTES + len(self.payload)
+
+
+@dataclass
+class CompletionEntry:
+    """Device response: status + result parameters + optional payload."""
+
+    command_id: int
+    status: int  # 0 = success
+    result: Tuple[int, ...] = ()
+    payload: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 0
+
+
+class CommandTransport:
+    """Executes encoded commands against a :class:`DeepStoreDevice`.
+
+    Time accounting: the command header and any payload cross the host
+    link at the SSD's external bandwidth; responses likewise.  The
+    returned completion carries ``transfer_seconds`` in its result when
+    relevant (the functional outcome is authoritative; the latency model
+    remains the QueryLatency attached to query results).
+    """
+
+    STATUS_OK = 0
+    STATUS_INVALID = 1
+    STATUS_UNSUPPORTED = 2
+
+    def __init__(self, device):
+        self.device = device
+        self._next_cid = 1
+        self.commands_processed = 0
+        self.bytes_transferred = 0
+
+    # ------------------------------------------------------------------
+    def next_cid(self) -> int:
+        """Allocate the next command identifier."""
+        cid = self._next_cid
+        self._next_cid += 1
+        return cid
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Host-link time to move nbytes (3.2 GB/s external)."""
+        return nbytes / self.device.ssd.config.external_bandwidth
+
+    def submit(self, command: Command) -> CompletionEntry:
+        """Decode-and-dispatch one command (already-encoded bytes are
+        accepted via :meth:`submit_bytes`)."""
+        from repro.core.api import DeepStoreApiError
+
+        self.commands_processed += 1
+        self.bytes_transferred += command.total_bytes
+        try:
+            return self._dispatch(command)
+        except (DeepStoreApiError, CommandError, ValueError) as exc:
+            return CompletionEntry(
+                command_id=command.command_id,
+                status=self.STATUS_INVALID,
+                payload=str(exc).encode(),
+            )
+
+    def submit_bytes(self, blob: bytes) -> CompletionEntry:
+        """Decode an encoded submission and dispatch it."""
+        return self.submit(Command.decode(blob))
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, command: Command) -> CompletionEntry:
+        handler = {
+            OP_READ_DB: self._read_db,
+            OP_WRITE_DB: self._write_db,
+            OP_APPEND_DB: self._append_db,
+            OP_LOAD_MODEL: self._load_model,
+            OP_QUERY: self._query,
+            OP_GET_RESULT: self._get_result,
+            OP_SET_QC: self._set_qc,
+        }[command.opcode]
+        return handler(command)
+
+    def _read_db(self, c: Command) -> CompletionEntry:
+        db_id, start, num = c.params[:3]
+        data = self.device.read_db(int(db_id), int(start), int(num))
+        payload = data.tobytes()
+        self.bytes_transferred += len(payload)
+        return CompletionEntry(c.command_id, 0, (len(data),), payload)
+
+    def _write_db(self, c: Command) -> CompletionEntry:
+        (dim,) = c.params[:1]
+        if dim == 0:
+            raise CommandError("WRITE_DB needs a feature dimension")
+        features = np.frombuffer(c.payload, dtype=np.float32).reshape(-1, int(dim))
+        db_id = self.device.write_db(features.copy())
+        return CompletionEntry(c.command_id, 0, (db_id,))
+
+    def _append_db(self, c: Command) -> CompletionEntry:
+        db_id, dim = c.params[:2]
+        features = np.frombuffer(c.payload, dtype=np.float32).reshape(-1, int(dim))
+        self.device.append_db(int(db_id), features.copy())
+        return CompletionEntry(c.command_id, 0, ())
+
+    def _load_model(self, c: Command) -> CompletionEntry:
+        model_id = self.device.load_model(c.payload)
+        return CompletionEntry(c.command_id, 0, (model_id,))
+
+    def _query(self, c: Command) -> CompletionEntry:
+        k, model_id, db_id, db_start, db_end, level_code = c.params[:6]
+        qfv = np.frombuffer(c.payload, dtype=np.float32)
+        handle = self.device.query(
+            qfv.copy(),
+            k=int(k),
+            model_id=int(model_id),
+            db_id=int(db_id),
+            db_start=int(db_start),
+            db_end=int(db_end) if db_end else None,
+            accel_level=_LEVEL_NAMES.get(int(level_code)),
+        )
+        return CompletionEntry(c.command_id, 0, (handle.query_id,))
+
+    def _get_result(self, c: Command) -> CompletionEntry:
+        from repro.core.api import QueryHandle
+
+        (query_id,) = c.params[:1]
+        result = self.device.get_results(QueryHandle(query_id=int(query_id)))
+        payload = (
+            result.feature_ids.astype(np.int64).tobytes()
+            + result.object_ids.astype(np.int64).tobytes()
+            + result.scores.astype(np.float32).tobytes()
+        )
+        self.bytes_transferred += len(payload)
+        latency_us = int(result.latency.total_seconds * 1e6)
+        return CompletionEntry(
+            c.command_id, 0,
+            (result.k, int(result.cache_hit), latency_us),
+            payload,
+        )
+
+    def _set_qc(self, c: Command) -> CompletionEntry:
+        threshold_milli, capacity, accuracy_milli = c.params[:3]
+        self.device.set_qc(
+            threshold=threshold_milli / 1000.0,
+            capacity=int(capacity),
+            qcn_accuracy=accuracy_milli / 1000.0,
+        )
+        return CompletionEntry(c.command_id, 0, ())
+
+
+# ----------------------------------------------------------------------
+# convenience encoders (the host-side library a Table-2 binding would use)
+# ----------------------------------------------------------------------
+def encode_query(
+    cid: int,
+    qfv: np.ndarray,
+    k: int,
+    model_id: int,
+    db_id: int,
+    db_start: int = 0,
+    db_end: int = 0,
+    accel_level: Optional[str] = None,
+) -> Command:
+    """Host-side helper: build a QUERY submission for a QFV."""
+    if accel_level is not None and accel_level not in _LEVEL_CODES:
+        raise CommandError(f"unknown accelerator level {accel_level!r}")
+    level = _LEVEL_CODES[accel_level] if accel_level is not None else 0xFF
+    return Command(
+        opcode=OP_QUERY,
+        command_id=cid,
+        params=(k, model_id, db_id, db_start, db_end, level),
+        payload=np.ascontiguousarray(qfv, dtype=np.float32).tobytes(),
+    )
+
+
+def decode_result_payload(entry: CompletionEntry) -> dict:
+    """Unpack a GET_RESULT completion payload."""
+    k = entry.result[0]
+    ids = np.frombuffer(entry.payload[: 8 * k], dtype=np.int64)
+    objs = np.frombuffer(entry.payload[8 * k: 16 * k], dtype=np.int64)
+    scores = np.frombuffer(entry.payload[16 * k: 16 * k + 4 * k], dtype=np.float32)
+    return {
+        "feature_ids": ids,
+        "object_ids": objs,
+        "scores": scores,
+        "cache_hit": bool(entry.result[1]),
+        "latency_us": entry.result[2],
+    }

@@ -1,0 +1,98 @@
+"""The in-storage runtime's query engine (paper §4.7.1).
+
+The query engine is software on the SSD's embedded cores.  Per query it
+parses the request, checks the query cache, maps the SCN onto the
+accelerators (map), collects and merges their top-K results (reduce), and
+DMAs results to the host on ``getResults``.  These are small costs next
+to a database scan, but they are real serial overheads — the model keeps
+them explicit so cache-hit latencies (which skip the scan) are honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.topk import merge_topk
+from repro.ssd.timing import SsdConfig
+
+
+@dataclass(frozen=True)
+class EngineCosts:
+    """Embedded-core runtime costs."""
+
+    #: parsing a query command and metadata lookup in cached tables
+    parse_seconds: float = 5e-6
+    #: programming one accelerator (model address, db range, K)
+    dispatch_per_accel_seconds: float = 1e-6
+    #: merging one partial top-K entry on the embedded cores
+    merge_per_entry_seconds: float = 0.2e-6
+    #: query-cache bookkeeping (LRU promote/insert)
+    cache_update_seconds: float = 2e-6
+    #: power drawn by the embedded cores while the engine runs
+    embedded_power_w: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "parse_seconds",
+            "dispatch_per_accel_seconds",
+            "merge_per_entry_seconds",
+            "cache_update_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+class QueryEngine:
+    """Cost model + functional reduce step of the runtime."""
+
+    def __init__(self, ssd: SsdConfig, costs: EngineCosts | None = None):
+        self.ssd = ssd
+        self.costs = costs or EngineCosts()
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def dispatch_seconds(self, n_accels: int) -> float:
+        """Parse + per-accelerator programming time (map step)."""
+        if n_accels <= 0:
+            raise ValueError("n_accels must be positive")
+        return (
+            self.costs.parse_seconds
+            + n_accels * self.costs.dispatch_per_accel_seconds
+        )
+
+    def merge_seconds(self, n_accels: int, k: int) -> float:
+        """Reduce step: merge ``n_accels`` partial top-K lists."""
+        if k <= 0:
+            raise ValueError("K must be positive")
+        return n_accels * k * self.costs.merge_per_entry_seconds
+
+    def result_transfer_seconds(self, k: int, feature_bytes: int) -> float:
+        """``getResults`` DMA: top-K feature vectors + 8-byte ObjectIDs."""
+        payload = k * (feature_bytes + 8)
+        return payload / self.ssd.external_bandwidth
+
+    def query_overhead_seconds(self, n_accels: int, k: int) -> float:
+        """All serial engine costs of one query (excluding the scan)."""
+        return (
+            self.dispatch_seconds(n_accels)
+            + self.merge_seconds(n_accels, k)
+            + self.costs.cache_update_seconds
+        )
+
+    def energy_j(self, engine_seconds: float) -> float:
+        """Embedded-core energy for the engine's share of a query."""
+        if engine_seconds < 0:
+            raise ValueError("negative engine time")
+        return engine_seconds * self.costs.embedded_power_w
+
+    # ------------------------------------------------------------------
+    # functional reduce
+    # ------------------------------------------------------------------
+    @staticmethod
+    def merge_results(
+        partials: List[List[Tuple[float, int]]], k: int
+    ) -> List[Tuple[float, int]]:
+        """Merge per-accelerator top-K lists (delegates to topk)."""
+        return merge_topk(partials, k)

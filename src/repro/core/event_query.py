@@ -1,0 +1,279 @@
+"""Whole-device event-driven query execution.
+
+The analytic :class:`~repro.core.deepstore.DeepStoreSystem` divides the
+scan across channel accelerators and takes a steady-state max() per
+channel.  This module checks that shortcut against a full discrete-event
+execution: **every** channel controller, flash chip, plane, bus and
+FLASH_DFV queue of the SSD simulated together, one accelerator consumer
+per channel, with the query engine's merge as the closing barrier.
+
+It is O(total pages), so it is used on scaled-down databases (tests) or
+windows — but unlike the per-channel window probe it captures cross-
+channel skew: the query finishes when the *slowest* stripe finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.accelerator import InStorageAccelerator
+from repro.core.engine import QueryEngine
+from repro.core.placement import AcceleratorPlacement, CHANNEL_LEVEL
+from repro.nn.graph import Graph
+from repro.sim import BoundedQueue, Simulator
+from repro.ssd.controller import ChannelController
+from repro.ssd.ftl import DatabaseMetadata
+from repro.ssd.timing import SsdConfig
+from repro.ssd.trace import scan_trace
+from repro.workloads.apps import AppSpec
+
+
+@dataclass
+class EventQueryResult:
+    """Measured whole-device query execution."""
+
+    total_seconds: float
+    scan_seconds: float
+    per_channel_seconds: List[float]
+    pages: int
+
+    @property
+    def channel_skew(self) -> float:
+        """Slowest / fastest stripe completion (1.0 = perfectly even)."""
+        finite = [t for t in self.per_channel_seconds if t > 0]
+        if not finite:
+            return 1.0
+        return max(finite) / min(finite)
+
+
+class EventQuerySimulator:
+    """Full-device DES execution of one channel-level query."""
+
+    def __init__(
+        self,
+        ssd: Optional[SsdConfig] = None,
+        placement: AcceleratorPlacement = CHANNEL_LEVEL,
+        queue_depth: int = 8,
+    ):
+        if placement.level != "channel":
+            raise ValueError("the event simulator models the channel level")
+        if queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        self.ssd = ssd or SsdConfig()
+        self.placement = placement
+        self.queue_depth = queue_depth
+
+    def run(
+        self,
+        app: AppSpec,
+        meta: DatabaseMetadata,
+        graph: Optional[Graph] = None,
+        max_pages_per_channel: Optional[int] = None,
+    ) -> EventQueryResult:
+        """Simulate one query over every channel; returns measured times."""
+        graph = graph or app.build_scn()
+        accel = InStorageAccelerator(self.placement, self.ssd, graph)
+        geo = self.ssd.geometry
+        sim = Simulator()
+        engine = QueryEngine(self.ssd)
+
+        spf = accel.compute_seconds_per_feature(
+            int(max(1, meta.feature_count / geo.channels))
+        )
+        if meta.page_aligned:
+            compute_per_page = spf / meta.pages_per_feature
+        else:
+            compute_per_page = spf * meta.features_per_page
+
+        per_channel_done: Dict[int, float] = {}
+        traces = {
+            ch: list(
+                scan_trace(meta, geo, channel=ch, max_pages=max_pages_per_channel)
+            )
+            for ch in range(geo.channels)
+        }
+        total_pages = sum(len(t) for t in traces.values())
+        remaining_channels = {"n": sum(1 for t in traces.values() if t)}
+
+        def start_channel(ch: int, trace: list) -> None:
+            """Per-channel closures, bound via this factory (a plain loop
+            body would late-bind the recursive `consume` reference to the
+            last iteration's function)."""
+            controller = ChannelController(sim, geo, self.ssd.timing, ch)
+            queue = BoundedQueue(sim, self.queue_depth, name=f"dfv-{ch}")
+            cursor = {"next": 0}
+            done = {"pages": 0}
+
+            def issue_next() -> None:
+                i = cursor["next"]
+                if i >= len(trace):
+                    return
+                cursor["next"] = i + 1
+                controller.read_page(
+                    trace[i].address,
+                    lambda addr: queue.put(addr, issue_next),
+                )
+
+            def consume() -> None:
+                def got(_page) -> None:
+                    sim.schedule_after(compute_per_page, finished)
+
+                def finished() -> None:
+                    done["pages"] += 1
+                    if done["pages"] < len(trace):
+                        consume()
+                    else:
+                        per_channel_done[ch] = sim.now
+                        remaining_channels["n"] -= 1
+
+                queue.get(got)
+
+            for _ in range(min(self.queue_depth, len(trace))):
+                issue_next()
+            consume()
+
+        for ch, trace in traces.items():
+            if not trace:
+                per_channel_done[ch] = 0.0
+                continue
+            start_channel(ch, trace)
+
+        sim.run(stop_when=lambda: remaining_channels["n"] <= 0)
+        scan_seconds = sim.now
+        overhead = (
+            engine.dispatch_seconds(geo.channels)
+            + engine.merge_seconds(geo.channels, 10)
+            + accel.query_setup_seconds()
+        )
+        return EventQueryResult(
+            total_seconds=scan_seconds + overhead,
+            scan_seconds=scan_seconds,
+            per_channel_seconds=[per_channel_done.get(ch, 0.0)
+                                 for ch in range(geo.channels)],
+            pages=total_pages,
+        )
+
+
+@dataclass
+class ChipChannelResult:
+    """Measured event-driven execution of one chip-level channel."""
+
+    seconds: float
+    features: float
+    pages: int
+    weight_broadcasts: int
+    bus_busy_seconds: float
+
+    @property
+    def seconds_per_feature(self) -> float:
+        return self.seconds / self.features if self.features else 0.0
+
+
+def simulate_chip_channel(
+    app: AppSpec,
+    meta: DatabaseMetadata,
+    ssd: Optional[SsdConfig] = None,
+    graph: Optional[Graph] = None,
+    channel: int = 0,
+    max_pages: int = 256,
+    queue_depth: int = 4,
+) -> ChipChannelResult:
+    """Event-driven scan of one channel at the **chip** level.
+
+    Four chip accelerators consume the pages stored on their own chip;
+    the channel-level accelerator periodically broadcasts the model
+    weights over the *same* channel bus (``occupy_bus``), once per
+    lockstep window — so weight traffic and DFV traffic contend exactly
+    as §4.5 describes.  Used to validate the analytic chip model's
+    ``io + weight_broadcast`` bus accounting.
+    """
+    from repro.core.placement import CHIP_LEVEL
+
+    ssd = ssd or SsdConfig()
+    graph = graph or app.build_scn()
+    accel = InStorageAccelerator(CHIP_LEVEL, ssd, graph)
+    geo = ssd.geometry
+    sim = Simulator()
+    controller = ChannelController(sim, geo, ssd.timing, channel)
+
+    spf = accel.compute_seconds_per_feature(
+        int(max(1, meta.feature_count / (geo.channels * geo.chips_per_channel)))
+    )
+    if meta.page_aligned:
+        compute_per_page = spf / meta.pages_per_feature
+        features_per_page = 1.0 / meta.pages_per_feature
+    else:
+        compute_per_page = spf * meta.features_per_page
+        features_per_page = float(meta.features_per_page)
+
+    window = CHIP_LEVEL.dfv_buffer_features(app.feature_bytes)
+    features_per_round = window * geo.chips_per_channel
+    weight_bytes = graph.weight_bytes()
+
+    trace = list(scan_trace(meta, geo, channel=channel, max_pages=max_pages))
+    per_chip = {
+        chip: [a for a in trace if a.address.chip == chip]
+        for chip in range(geo.chips_per_channel)
+    }
+    state = {
+        "pages_done": 0,
+        "features_since_broadcast": 0.0,
+        "broadcasts": 0,
+        "remaining": sum(1 for t in per_chip.values() if t),
+    }
+
+    def maybe_broadcast() -> None:
+        if state["features_since_broadcast"] >= features_per_round:
+            state["features_since_broadcast"] -= features_per_round
+            state["broadcasts"] += 1
+            controller.occupy_bus(weight_bytes, lambda: None)
+
+    def start_chip(chip_trace: list) -> None:
+        """Factory-bound per-chip closures (avoids late-binding the
+        recursive `consume`)."""
+        queue = BoundedQueue(sim, queue_depth, name="chip-dfv")
+        cursor = {"next": 0}
+        done = {"pages": 0}
+
+        def issue_next() -> None:
+            i = cursor["next"]
+            if i >= len(chip_trace):
+                return
+            cursor["next"] = i + 1
+            controller.read_page(
+                chip_trace[i].address, lambda addr: queue.put(addr, issue_next)
+            )
+
+        def consume() -> None:
+            def got(_page) -> None:
+                sim.schedule_after(compute_per_page, finished)
+
+            def finished() -> None:
+                done["pages"] += 1
+                state["pages_done"] += 1
+                state["features_since_broadcast"] += features_per_page
+                maybe_broadcast()
+                if done["pages"] < len(chip_trace):
+                    consume()
+                else:
+                    state["remaining"] -= 1
+
+            queue.get(got)
+
+        for _ in range(min(queue_depth, len(chip_trace))):
+            issue_next()
+        consume()
+
+    for chip_trace in per_chip.values():
+        if chip_trace:
+            start_chip(chip_trace)
+
+    sim.run(stop_when=lambda: state["remaining"] <= 0)
+    return ChipChannelResult(
+        seconds=sim.now,
+        features=features_per_page * len(trace),
+        pages=len(trace),
+        weight_broadcasts=state["broadcasts"],
+        bus_busy_seconds=controller.bus.busy_seconds,
+    )

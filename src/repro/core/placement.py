@@ -1,0 +1,181 @@
+"""Accelerator placements (paper Table 3).
+
+DeepStore places accelerators at three levels of the SSD's internal
+parallelism (paper Fig. 3):
+
+=============  ==========  =========  ========  ===========  ========
+Property       SSD-level   Channel    Chip
+=============  ==========  =========  ========
+Dataflow       OS          OS         WS
+PEs            32 x 64     16 x 64    4 x 32
+Frequency      800 MHz     800 MHz    400 MHz
+Scratchpad     8 MB        512 KB     512 KB
+Area (mm^2)    31.7        7.4        2.5
+Power budget   55 W        1.71 W     0.43 W
+=============  ==========  =========  ========
+
+The channel-level accelerators use the SSD-level 8 MB scratchpad as a
+shared second level for model weights; chip-level accelerators receive
+weights over the flash channel bus, scheduled in lockstep by their
+channel's accelerator, and therefore run weight-stationary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.nn.graph import Graph
+from repro.ssd.timing import SsdConfig
+from repro.systolic import (
+    ScratchpadHierarchy,
+    ScratchpadLevel,
+    SystolicArray,
+    SystolicConfig,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class UnsupportedModelError(ValueError):
+    """Raised when a placement cannot execute a model (paper: the
+    chip-level accelerator "can not execute ReId due to limited compute
+    and on-chip memory resources")."""
+
+
+@dataclass(frozen=True)
+class AcceleratorPlacement:
+    """One row of paper Table 3."""
+
+    level: str  # "ssd" | "channel" | "chip"
+    systolic: SystolicConfig
+    scratchpad_bytes: int
+    sram_model: str  # CACTI transistor model: itrs-hp or itrs-lop
+    area_mm2: float  # published Table-3 area
+    #: features the accelerator buffers while weights are broadcast
+    #: (chip level only; bounds the lockstep scheduling window)
+    dfv_window: int = 1
+
+    def __post_init__(self) -> None:
+        if self.level not in ("ssd", "channel", "chip"):
+            raise ValueError(f"unknown level {self.level!r}")
+        if self.scratchpad_bytes <= 0:
+            raise ValueError("scratchpad must be positive")
+
+    # ------------------------------------------------------------------
+    def count(self, ssd: SsdConfig) -> int:
+        """Number of accelerator instances in an SSD of this geometry."""
+        geo = ssd.geometry
+        if self.level == "ssd":
+            return 1
+        if self.level == "channel":
+            return geo.channels
+        return geo.channels * geo.chips_per_channel
+
+    def power_budget_w(self, ssd: SsdConfig) -> float:
+        """Per-accelerator share of the SSD's accelerator power budget."""
+        return ssd.accelerator_power_budget_w / self.count(ssd)
+
+    def build_array(self) -> SystolicArray:
+        """A SystolicArray for this placement's configuration."""
+        return SystolicArray(self.systolic)
+
+    def build_hierarchy(self, ssd: SsdConfig) -> ScratchpadHierarchy:
+        """The scratchpad hierarchy this placement sees."""
+        l1 = ScratchpadLevel(
+            name=f"{self.level}-l1",
+            size_bytes=self.scratchpad_bytes,
+            bandwidth_bytes_per_s=4 * self.systolic.frequency_hz
+            * (self.systolic.rows + self.systolic.cols),
+        )
+        dram = ScratchpadLevel(
+            name="dram",
+            size_bytes=ssd.dram_bytes,
+            # Non-resident weights are broadcast in lockstep to every
+            # accelerator of the level, so each sees full DRAM bandwidth.
+            bandwidth_bytes_per_s=ssd.dram_bandwidth,
+        )
+        if self.level == "channel":
+            l2 = ScratchpadLevel(
+                name="l2-ssd",
+                size_bytes=SSD_LEVEL.scratchpad_bytes,
+                bandwidth_bytes_per_s=ssd.dram_bandwidth,
+            )
+            return ScratchpadHierarchy(l1, l2=l2, dram=dram)
+        if self.level == "chip":
+            # Weights arrive over the channel bus; the DeepStore system
+            # model charges that traffic to the bus explicitly, so the
+            # mapper itself sees only L1 + a bus-backed stream level.
+            bus = ScratchpadLevel(
+                name="channel-bus",
+                size_bytes=ssd.dram_bytes,
+                bandwidth_bytes_per_s=ssd.timing.channel_bandwidth,
+            )
+            return ScratchpadHierarchy(l1, l2=None, dram=bus)
+        return ScratchpadHierarchy(l1, l2=None, dram=dram)
+
+    # ------------------------------------------------------------------
+    def check_supported(self, graph: Graph) -> None:
+        """Raise :class:`UnsupportedModelError` for infeasible models.
+
+        The chip-level accelerator lacks the on-chip buffering for the
+        im2col working sets of convolutional layers and the compute for
+        large spatial models — the paper excludes ReId from the chip
+        level for exactly this reason.
+        """
+        if self.level != "chip":
+            return
+        counts = graph.count_layers()
+        if counts["conv"] > 0:
+            raise UnsupportedModelError(
+                f"chip-level accelerator cannot execute {graph.name!r}: "
+                f"convolutional layers exceed its compute and on-chip "
+                f"memory resources"
+            )
+
+    def supports(self, graph: Graph) -> bool:
+        """Non-raising form of check_supported."""
+        try:
+            self.check_supported(graph)
+        except UnsupportedModelError:
+            return False
+        return True
+
+    def dfv_buffer_features(self, feature_bytes: int) -> int:
+        """Features bufferable while a weight broadcast is in flight."""
+        if feature_bytes <= 0:
+            raise ValueError("feature_bytes must be positive")
+        reserve = int(self.scratchpad_bytes * ScratchpadHierarchy.ACTIVATION_RESERVE
+                      * 3)  # DFV staging may also spill into the weight space
+        return max(1, min(self.dfv_window, reserve // feature_bytes))
+
+
+SSD_LEVEL = AcceleratorPlacement(
+    level="ssd",
+    systolic=SystolicConfig(rows=32, cols=64, frequency_hz=800e6, dataflow="OS"),
+    scratchpad_bytes=8 * MB,
+    sram_model="itrs-hp",
+    area_mm2=31.7,
+)
+
+CHANNEL_LEVEL = AcceleratorPlacement(
+    level="channel",
+    systolic=SystolicConfig(rows=16, cols=64, frequency_hz=800e6, dataflow="OS"),
+    scratchpad_bytes=512 * KB,
+    sram_model="itrs-hp",
+    area_mm2=7.4,
+)
+
+CHIP_LEVEL = AcceleratorPlacement(
+    level="chip",
+    systolic=SystolicConfig(
+        rows=4, cols=32, frequency_hz=400e6, dataflow="WS", ws_stream_batch=24
+    ),
+    scratchpad_bytes=512 * KB,
+    sram_model="itrs-lop",
+    area_mm2=2.5,
+    dfv_window=24,
+)
+
+LEVELS = {"ssd": SSD_LEVEL, "channel": CHANNEL_LEVEL, "chip": CHIP_LEVEL}

@@ -1,0 +1,150 @@
+"""Multi-query scan sharing.
+
+The paper evaluates one query at a time; its query engine, however,
+naturally admits an extension the flash layout makes attractive: when
+several intelligent queries are pending against the same database, one
+pass over the feature vectors can score *all* of them — each DFV read
+from flash is compared against every outstanding QFV before being
+discarded.  I/O-bound scans then serve extra queries almost for free
+until the accelerators become compute-bound.
+
+:class:`MultiQueryScheduler` models this: per-feature compute scales with
+the number of co-scheduled queries while the flash feed and any
+non-resident weight stream are paid once, and the crossover ("free"
+concurrency) falls out of the same steady-state max() as everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.deepstore import DeepStoreSystem
+from repro.nn.graph import Graph
+from repro.ssd.ftl import DatabaseMetadata
+from repro.workloads.apps import AppSpec
+
+
+@dataclass
+class SharedScanReport:
+    """Cost of scanning once for ``n_queries`` concurrent queries."""
+
+    app: str
+    level: str
+    n_queries: int
+    scan_seconds: float
+    single_query_seconds: float
+
+    @property
+    def batch_speedup(self) -> float:
+        """Speedup over running the queries back-to-back."""
+        return self.n_queries * self.single_query_seconds / self.scan_seconds
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.n_queries / self.scan_seconds if self.scan_seconds else 0.0
+
+    @property
+    def marginal_cost(self) -> float:
+        """Extra time per additional query, as a fraction of one scan."""
+        if self.n_queries <= 1:
+            return 0.0
+        return (self.scan_seconds - self.single_query_seconds) / (
+            (self.n_queries - 1) * self.single_query_seconds
+        )
+
+
+class MultiQueryScheduler:
+    """Scan sharing on top of a :class:`DeepStoreSystem`."""
+
+    def __init__(self, system: Optional[DeepStoreSystem] = None):
+        self.system = system or DeepStoreSystem.at_level("channel")
+
+    def shared_scan(
+        self,
+        app: AppSpec,
+        meta: DatabaseMetadata,
+        n_queries: int,
+        graph: Optional[Graph] = None,
+    ) -> SharedScanReport:
+        """Latency of one shared scan serving ``n_queries`` queries."""
+        if n_queries <= 0:
+            raise ValueError("n_queries must be positive")
+        graph = graph or app.build_scn()
+        system = self.system
+        accel = system.accelerator_for(graph)
+        geo = system.ssd.geometry
+        count = system.placement.count(system.ssd)
+        stripe = meta.feature_count / count
+
+        io_spf = system.io_seconds_per_feature(meta)
+        bus_spf = system.bus_weight_seconds_per_feature(graph, app.feature_bytes)
+        profile = accel.profile
+        # compute scales per query; weight streaming is paid once per
+        # feature regardless of how many queries consume it
+        compute_1 = profile.compute_seconds_per_feature \
+            + accel.topk_seconds_per_feature(int(max(1, stripe)))
+        stream_spf = sum(
+            layer.stream_seconds_per_feature for layer in profile.layers
+        )
+
+        def per_feature(n: int) -> float:
+            if system.placement.level == "chip":
+                chips = geo.chips_per_channel
+                return max(io_spf + bus_spf, n * compute_1 / chips, stream_spf)
+            return max(io_spf, n * compute_1, stream_spf)
+
+        def scan_seconds(n: int) -> float:
+            if system.placement.level == "ssd":
+                base = meta.feature_count * per_feature(n)
+            elif system.placement.level == "chip":
+                base = (meta.feature_count / geo.channels) * per_feature(n)
+            else:
+                base = stripe * per_feature(n)
+            overhead = system.engine.dispatch_seconds(count) + n * (
+                system.engine.merge_seconds(count, system.k)
+            )
+            return base + overhead + accel.query_setup_seconds()
+
+        return SharedScanReport(
+            app=app.name,
+            level=system.placement.level,
+            n_queries=n_queries,
+            scan_seconds=scan_seconds(n_queries),
+            single_query_seconds=scan_seconds(1),
+        )
+
+    def free_concurrency(
+        self,
+        app: AppSpec,
+        meta: DatabaseMetadata,
+        graph: Optional[Graph] = None,
+        tolerance: float = 1.05,
+        max_queries: int = 4096,
+    ) -> int:
+        """Largest query batch whose shared scan stays within
+        ``tolerance`` of a single query's scan time — the concurrency the
+        flash bottleneck hands out for free."""
+        if tolerance < 1.0:
+            raise ValueError("tolerance must be >= 1.0")
+        graph = graph or app.build_scn()
+        single = self.shared_scan(app, meta, 1, graph=graph).scan_seconds
+        best = 1
+        n = 1
+        while n <= max_queries:
+            report = self.shared_scan(app, meta, n, graph=graph)
+            if report.scan_seconds <= single * tolerance:
+                best = n
+                n *= 2
+            else:
+                break
+        # binary refine between best and n
+        low, high = best, min(n, max_queries)
+        while low + 1 < high:
+            mid = (low + high) // 2
+            report = self.shared_scan(app, meta, mid, graph=graph)
+            if report.scan_seconds <= single * tolerance:
+                low = mid
+            else:
+                high = mid
+        return low

@@ -1,0 +1,121 @@
+"""Hardware top-K sorter (paper §4.3).
+
+The accelerator controller keeps the running top-K in a priority queue
+implemented with a **sorted tag array** and a **mapping table**: tags are
+kept sorted by score; the mapping table, indexed by tag, stores the score
+and feature id.  A new score triggers a binary search over the tag array;
+on insert, lower-priority tags shift down by one, the lowest is dropped,
+and its tag is recycled for the new entry.
+
+The functional model below mirrors that structure exactly (so behaviour
+and cost can be tested against it), and exposes the cycle cost the
+accelerator profile charges: a compare against the current minimum every
+update, plus ``log2(K) + shift`` cycles on actual inserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import List, Tuple
+
+
+@dataclass
+class _MapEntry:
+    score: float
+    feature_id: int
+
+
+class TopKSorter:
+    """Sorted-tag-array top-K tracker with cycle accounting."""
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError("K must be positive")
+        self.k = k
+        # tag_array[i] = tag of the i-th best entry; mapping_table[tag]
+        self._tag_array: List[int] = []
+        self._mapping_table: List[_MapEntry] = [
+            _MapEntry(float("-inf"), -1) for _ in range(k)
+        ]
+        self._free_tags = list(range(k))
+        self.updates = 0
+        self.inserts = 0
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._tag_array)
+
+    @property
+    def min_score(self) -> float:
+        if len(self._tag_array) < self.k:
+            return float("-inf")
+        return self._mapping_table[self._tag_array[-1]].score
+
+    def update(self, score: float, feature_id: int) -> bool:
+        """Offer one (score, feature) pair; returns True if inserted."""
+        self.updates += 1
+        self.cycles += 1  # compare against current minimum
+        if len(self._tag_array) >= self.k and score <= self.min_score:
+            return False
+        self.inserts += 1
+        position = self._binary_search(score)
+        if len(self._tag_array) < self.k:
+            tag = self._free_tags.pop()
+        else:
+            tag = self._tag_array.pop()  # evict the lowest priority entry
+        self._mapping_table[tag] = _MapEntry(score, feature_id)
+        self._tag_array.insert(position, tag)
+        # binary search + shifting lower-priority tags down by one
+        self.cycles += ceil(log2(self.k)) + (len(self._tag_array) - position)
+        return True
+
+    def _binary_search(self, score: float) -> int:
+        lo, hi = 0, len(self._tag_array)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._mapping_table[self._tag_array[mid]].score >= score:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    def results(self) -> List[Tuple[float, int]]:
+        """Current top-K as (score, feature_id), best first."""
+        return [
+            (self._mapping_table[tag].score, self._mapping_table[tag].feature_id)
+            for tag in self._tag_array
+        ]
+
+    def expected_cycles_per_update(self, n_candidates: int) -> float:
+        """Analytic mean cycles/update over a random-score stream.
+
+        For i.i.d. scores, candidate ``i`` enters the top-K with
+        probability ``min(1, k/i)``; summing gives roughly
+        ``k ln(n/k) + k`` inserts over ``n`` candidates.
+        """
+        if n_candidates <= 0:
+            raise ValueError("n_candidates must be positive")
+        import math
+
+        n, k = n_candidates, self.k
+        expected_inserts = k * (1 + math.log(max(1.0, n / k)))
+        insert_cost = ceil(log2(k)) + k / 2
+        return 1.0 + min(1.0, expected_inserts / n) * insert_cost
+
+
+def merge_topk(partials: List[List[Tuple[float, int]]], k: int) -> List[Tuple[float, int]]:
+    """Merge per-accelerator top-K lists into the final top-K.
+
+    This is the reduce step of the query engine's map-reduce execution
+    (paper §4.7.1): each accelerator writes its top-K to SSD DRAM and the
+    engine merges them.
+    """
+    if k <= 0:
+        raise ValueError("K must be positive")
+    merged = [item for partial in partials for item in partial]
+    merged.sort(key=lambda pair: (-pair[0], pair[1]))
+    return merged[:k]

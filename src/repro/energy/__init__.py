@@ -1,0 +1,19 @@
+"""Energy and area models.
+
+The paper uses a linear energy model (§6.1): per-event energies for
+arithmetic, scratchpad/DRAM/flash accesses and NoC traffic are multiplied
+by event counts collected from the simulators, with arithmetic scaled to
+32 nm, SRAM energy from CACTI 6.5 (``itrs-hp`` for SSD/channel level,
+``itrs-low`` for chip level), DRAM at 20 pJ/bit, and flash access energy
+derived from the Intel DC P4500's page-read power.
+
+This package reproduces that methodology: :mod:`tables` holds the per-
+event constants, :mod:`cacti` provides a CACTI-like SRAM energy/area fit,
+and :mod:`model` turns an execution profile into a joule breakdown.
+"""
+
+from repro.energy.cacti import CactiLite
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.tables import EnergyTables
+
+__all__ = ["EnergyTables", "CactiLite", "EnergyModel", "EnergyBreakdown"]

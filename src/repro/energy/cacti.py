@@ -1,0 +1,58 @@
+"""CACTI-like SRAM energy/area estimator.
+
+CACTI models SRAM access energy as dominated by bitline/wordline and
+H-tree wire capacitance, which grows roughly with the square root of the
+macro's capacity once banking is optimal.  We fit that functional form,
+
+    E_access(S) = e0 + e1 * sqrt(S_bytes)        [pJ per 32-bit access]
+    A(S)        = a0 + a1 * S_bytes              [mm^2]
+
+with constants chosen to match published 32 nm CACTI 6.5 outputs at the
+design points the paper uses (512 KB and 8 MB macros).  The ``itrs-lop``
+transistor model (used for the power-constrained chip-level accelerators,
+paper §6.1) trades ~35% lower dynamic energy for lower speed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_VALID_MODELS = ("itrs-hp", "itrs-lop")
+
+
+@dataclass(frozen=True)
+class CactiLite:
+    """Square-root capacity fit of CACTI 6.5 at 32 nm."""
+
+    #: fixed per-access decode/sense energy, pJ per 32-bit word
+    e0_pj: float = 1.0
+    #: wire-dominated term, pJ per 32-bit word per sqrt(byte)
+    e1_pj: float = 0.020
+    #: low-power (itrs-lop) dynamic-energy scaling
+    lop_energy_scale: float = 0.65
+    #: fixed macro overhead, mm^2
+    a0_mm2: float = 0.05
+    #: area per byte, mm^2 (32 nm 6T SRAM with peripheral overhead)
+    a1_mm2_per_byte: float = 2.4e-6
+
+    def access_energy_pj(self, size_bytes: int, model: str = "itrs-hp") -> float:
+        """Energy of one 32-bit access to a macro of ``size_bytes``."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if model not in _VALID_MODELS:
+            raise ValueError(f"model must be one of {_VALID_MODELS}")
+        energy = self.e0_pj + self.e1_pj * math.sqrt(size_bytes)
+        if model == "itrs-lop":
+            energy *= self.lop_energy_scale
+        return energy
+
+    def access_energy_j(self, size_bytes: int, model: str = "itrs-hp") -> float:
+        """Access energy in joules (see access_energy_pj)."""
+        return self.access_energy_pj(size_bytes, model) * 1e-12
+
+    def area_mm2(self, size_bytes: int) -> float:
+        """Macro area in mm^2."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        return self.a0_mm2 + self.a1_mm2_per_byte * size_bytes

@@ -1,0 +1,49 @@
+"""Per-event energy constants at 32 nm.
+
+Sources mirror the paper's: arithmetic energies follow Horowitz's ISSCC
+survey scaled to 32 nm (the paper scales via [101]), DRAM is the paper's
+stated 20 pJ/bit, flash page energy is derived from the Intel DC P4500's
+active read power (~12 W at 3.2 GB/s external => ~3.75 J/GB across the
+flash path, ~60 uJ per 16 KB page including the NAND array and channel
+transfer; we attribute 25 uJ to the in-SSD flash access itself and the
+rest to the host path, which only the baseline pays), and NoC energy uses
+an estimated wire length from the accelerator's area (paper §6.1:
+"extrapolate the network-on-chip energy based on the estimated wire
+lengths and area from CACTI").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyTables:
+    """Energy-per-event constants (joules unless noted)."""
+
+    #: one fp32 multiply-accumulate at 32 nm (mult + add)
+    mac_fp32_j: float = 3.1e-12
+    #: DRAM access energy (paper: 20 pJ/bit)
+    dram_j_per_bit: float = 20e-12
+    #: flash access energy per 16 KB page read inside the SSD
+    flash_page_j: float = 25e-6
+    #: NoC energy per 32-bit word per mm of estimated wire
+    noc_j_per_word_mm: float = 0.08e-12
+    #: host DMA/PCIe energy per byte (baseline GPU+SSD path only)
+    pcie_j_per_byte: float = 6e-12
+
+    def dram_j_per_word(self, word_bits: int = 32) -> float:
+        """DRAM access energy for one word of the given width."""
+        return self.dram_j_per_bit * word_bits
+
+    def flash_j_for_pages(self, pages: float) -> float:
+        """Flash access energy for a (possibly fractional) page count."""
+        if pages < 0:
+            raise ValueError("negative page count")
+        return pages * self.flash_page_j
+
+    def noc_j(self, words: float, wire_mm: float) -> float:
+        """NoC transfer energy for words over an estimated wire length."""
+        if words < 0 or wire_mm < 0:
+            raise ValueError("negative NoC traffic")
+        return words * wire_mm * self.noc_j_per_word_mm

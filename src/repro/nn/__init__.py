@@ -1,0 +1,55 @@
+"""Neural-network IR substrate.
+
+DeepStore consumes similarity comparison networks (SCNs) and query
+comparison networks (QCNs) in two ways:
+
+* the **simulators** (:mod:`repro.systolic`, :mod:`repro.core`) need layer
+  *shapes* — dimensions, FLOPs, weight bytes — to produce cycle counts and
+  energy events;
+* the **examples** additionally execute the networks for real, so that an
+  end-to-end query actually retrieves similar items.
+
+This package provides both: a small DAG IR (:class:`Graph`) whose ops carry
+exact FLOP/MAC/weight accounting, a numpy executor with manual backprop so
+models can be trained on synthetic pairs (the paper trains its models to
+within 5% of published accuracy; we train to a separation criterion on
+synthetic data), and an ONNX-like byte serialization used by the
+``loadModel`` API (paper Table 2 specifies models are shipped in the ONNX
+format).
+"""
+
+from repro.nn.graph import Graph, GraphBuilder, Node
+from repro.nn.layers import (
+    Activation,
+    Concat,
+    Conv2D,
+    Dense,
+    Dot,
+    Elementwise,
+    Flatten,
+    Input,
+    Op,
+    ScoreHead,
+)
+from repro.nn.onnx_lite import graph_from_bytes, graph_to_bytes
+from repro.nn.training import PairTrainer, TrainConfig
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "Op",
+    "Input",
+    "Dense",
+    "Conv2D",
+    "Activation",
+    "Elementwise",
+    "Dot",
+    "Concat",
+    "Flatten",
+    "ScoreHead",
+    "graph_to_bytes",
+    "graph_from_bytes",
+    "PairTrainer",
+    "TrainConfig",
+]

@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel.
+
+This package provides the minimal event-driven machinery used by the SSD
+simulator (:mod:`repro.ssd`): a time-ordered event scheduler, exclusive
+resources with FIFO arbitration (e.g. a flash channel bus), and bounded
+queues with blocking put/get semantics (e.g. the ``FLASH_DFV`` queue that
+decouples flash prefetching from accelerator compute, paper Fig. 5).
+
+The kernel is callback based rather than coroutine based: entities schedule
+plain callables at absolute simulated times.  This keeps the hot loop cheap
+(a single ``heapq``) which matters because a full database scan simulates
+hundreds of thousands of flash-page events.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.queues import BoundedQueue
+from repro.sim.resources import Resource
+
+__all__ = ["Event", "Simulator", "Resource", "BoundedQueue"]

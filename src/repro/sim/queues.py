@@ -1,0 +1,88 @@
+"""Bounded producer/consumer queues for event-driven models.
+
+:class:`BoundedQueue` models the ``FLASH_DFV`` staging queue of the
+DeepStore accelerator (paper Fig. 5): the flash controller *produces*
+feature-vector pages into it while the systolic array *consumes* them, so
+prefetch and compute overlap.  The bound creates back-pressure: a full
+queue stalls the producer, which is exactly how a fixed-depth hardware FIFO
+throttles flash prefetching when compute is the bottleneck.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque
+
+from repro.sim.engine import Simulator
+
+
+class BoundedQueue:
+    """FIFO with asynchronous blocking ``put``/``get``.
+
+    ``put(item, on_accepted)`` calls ``on_accepted`` once the item has been
+    enqueued (immediately if space exists, otherwise when a consumer frees
+    a slot).  ``get(on_item)`` calls ``on_item(item)`` as soon as an item is
+    available.  Both sides preserve FIFO ordering.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "queue") -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._blocked_puts: Deque[tuple[Any, Callable[[], None]]] = deque()
+        self._blocked_gets: Deque[Callable[[Any], None]] = deque()
+        self.total_puts = 0
+        self.total_gets = 0
+        self.producer_stalls = 0
+        self.consumer_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def put(self, item: Any, on_accepted: Callable[[], None]) -> None:
+        """Enqueue ``item``; run ``on_accepted`` once it is actually queued."""
+        if self._blocked_gets:
+            # Hand directly to the oldest waiting consumer.
+            consumer = self._blocked_gets.popleft()
+            self.total_puts += 1
+            self.total_gets += 1
+            # Defer to an event so callers never re-enter synchronously.
+            self.sim.schedule_after(0.0, lambda: consumer(item))
+            self.sim.schedule_after(0.0, on_accepted)
+            return
+        if self.full:
+            self.producer_stalls += 1
+            self._blocked_puts.append((item, on_accepted))
+            return
+        self._items.append(item)
+        self.total_puts += 1
+        self.sim.schedule_after(0.0, on_accepted)
+
+    def get(self, on_item: Callable[[Any], None]) -> None:
+        """Dequeue the oldest item; run ``on_item(item)`` when available."""
+        if self._items:
+            item = self._items.popleft()
+            self.total_gets += 1
+            self._admit_blocked_put()
+            self.sim.schedule_after(0.0, lambda: on_item(item))
+            return
+        self.consumer_stalls += 1
+        self._blocked_gets.append(on_item)
+
+    def _admit_blocked_put(self) -> None:
+        if self._blocked_puts and not self.full:
+            item, on_accepted = self._blocked_puts.popleft()
+            self._items.append(item)
+            self.total_puts += 1
+            self.sim.schedule_after(0.0, on_accepted)

@@ -1,0 +1,41 @@
+"""Event-driven SSD simulator (SSD-Sim substitute).
+
+Models the internal organization of a modern NVMe SSD at the granularity
+the paper's evaluation depends on: channels with a shared bus, flash chips
+with independently operating planes and page buffers, a block-level FTL,
+SSD DRAM, and the external host link.  Default parameters follow paper
+§6.1: 32 channels x 4 chips x 8 planes, 512 blocks/plane, 128 pages/block,
+16 KB pages, 53 us array read latency, 800 MB/s per channel, 3.2 GB/s
+measured external bandwidth, 20 GB/s DRAM.
+"""
+
+from repro.ssd.geometry import PhysicalPageAddress, SsdGeometry
+from repro.ssd.timing import FlashTiming, SsdConfig
+from repro.ssd.flash import FlashChip
+from repro.ssd.controller import ChannelController
+from repro.ssd.ftl import BlockFtl, DatabaseMetadata, FtlError
+from repro.ssd.dram import SsdDram
+from repro.ssd.ssd import Ssd
+from repro.ssd.trace import PageAccess, scan_trace
+from repro.ssd.gc import GcStats, PageMappedFtl
+from repro.ssd.host_io import HostIoWorkload, InterferenceModel
+
+__all__ = [
+    "SsdGeometry",
+    "PhysicalPageAddress",
+    "FlashTiming",
+    "SsdConfig",
+    "FlashChip",
+    "ChannelController",
+    "BlockFtl",
+    "DatabaseMetadata",
+    "FtlError",
+    "SsdDram",
+    "Ssd",
+    "PageAccess",
+    "scan_trace",
+    "PageMappedFtl",
+    "GcStats",
+    "HostIoWorkload",
+    "InterferenceModel",
+]

@@ -1,0 +1,113 @@
+"""Per-channel flash controller.
+
+The channel controller owns the shared channel bus: it accepts page-read
+commands, forwards them to the target chip/plane, and once a page is
+buffered, schedules the bus transfer that delivers the page to the
+consumer (the SSD DRAM for normal reads, or a DeepStore accelerator's
+``FLASH_DFV`` queue for in-storage queries — paper Fig. 5).
+
+Bus arbitration is FIFO over buffered pages, which models the
+round-robin flash channel arbitration that limits external bandwidth in
+commodity SSDs (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.sim import Resource, Simulator
+from repro.ssd.flash import FlashChip, PageReadRequest
+from repro.ssd.geometry import PhysicalPageAddress, SsdGeometry
+from repro.ssd.timing import FlashTiming
+
+
+class ChannelController:
+    """One flash channel: chips + shared bus + command queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: SsdGeometry,
+        timing: FlashTiming,
+        channel_index: int,
+    ):
+        self.sim = sim
+        self.geometry = geometry
+        self.timing = timing
+        self.channel_index = channel_index
+        self.bus = Resource(sim, name=f"ch{channel_index}-bus")
+        self.chips: List[FlashChip] = [
+            FlashChip(
+                sim,
+                timing,
+                planes=geometry.planes_per_chip,
+                name=f"ch{channel_index}-chip{i}",
+            )
+            for i in range(geometry.chips_per_channel)
+        ]
+        self.pages_delivered = 0
+        self.bytes_delivered = 0
+        self._latency_sum = 0.0
+
+    # ------------------------------------------------------------------
+    def read_page(
+        self,
+        address: PhysicalPageAddress,
+        on_delivered: Callable[[PhysicalPageAddress], None],
+    ) -> None:
+        """Read one page and deliver it over the channel bus."""
+        if address.channel != self.channel_index:
+            raise ValueError(
+                f"page {address} routed to channel {self.channel_index}"
+            )
+        chip = self.chips[address.chip]
+        issue_time = self.sim.now
+
+        def buffered(request: PageReadRequest) -> None:
+            transfer = (
+                self.timing.transfer_seconds(self.geometry.page_bytes)
+                + self.timing.command_overhead_s
+            )
+
+            def done() -> None:
+                chip.release_buffer(address.plane)
+                self.pages_delivered += 1
+                self.bytes_delivered += self.geometry.page_bytes
+                self._latency_sum += self.sim.now - issue_time
+                on_delivered(address)
+
+            self.bus.acquire(transfer, done)
+
+        chip.read(PageReadRequest(address=address, on_buffered=buffered))
+
+    def occupy_bus(self, nbytes: int, on_done: Callable[[], None]) -> None:
+        """Occupy the channel bus for non-page traffic.
+
+        Used to model the weight broadcasts the channel-level accelerator
+        schedules to its chip-level accelerators (paper §4.5: the chip
+        accelerator "cannot be the master of the bus").
+        """
+        self.bus.acquire(self.timing.transfer_seconds(nbytes), on_done)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_delivery_latency(self) -> float:
+        """Mean issue-to-delivery latency over completed pages."""
+        if self.pages_delivered == 0:
+            return 0.0
+        return self._latency_sum / self.pages_delivered
+
+    def delivered_bandwidth(self, over_seconds: float) -> float:
+        """Bytes/second delivered over the given window."""
+        if over_seconds <= 0:
+            return 0.0
+        return self.bytes_delivered / over_seconds
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for reporting and tests."""
+        return {
+            "pages_delivered": float(self.pages_delivered),
+            "bytes_delivered": float(self.bytes_delivered),
+            "mean_delivery_latency_s": self.mean_delivery_latency,
+            "bus_busy_seconds": self.bus.busy_seconds,
+        }

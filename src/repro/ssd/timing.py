@@ -1,0 +1,91 @@
+"""Timing/bandwidth parameters of the simulated SSD.
+
+Groups the paper's §6.1 numbers: 53 us flash array read latency, 800 MB/s
+per-channel bus (ONFI 4.x), 3.2 GB/s measured external bandwidth (Intel DC
+P4500 over PCIe), 20 GB/s SSD-internal DRAM.  :class:`SsdConfig` bundles
+geometry + timing and is the single argument most higher-level models take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ssd.geometry import SsdGeometry
+
+MB = 1e6
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Latency/bandwidth of the flash path."""
+
+    #: time for a plane to move one page from the NAND array to its page
+    #: buffer (paper §6.1: 53 us; Fig. 9 sweeps 7-212 us)
+    array_read_latency_s: float = 53e-6
+    #: per-channel bus bandwidth, bytes/s (ONFI: 800 MB/s)
+    channel_bandwidth: float = 800 * MB
+    #: command issue/decode overhead per page read on the channel bus
+    command_overhead_s: float = 0.2e-6
+    #: page program (write) latency — 3D TLC NAND typical (~600 us)
+    program_latency_s: float = 600e-6
+    #: block erase latency (~3 ms)
+    erase_latency_s: float = 3e-3
+
+    def __post_init__(self) -> None:
+        if self.array_read_latency_s <= 0 or self.channel_bandwidth <= 0:
+            raise ValueError("flash timing parameters must be positive")
+        if self.command_overhead_s < 0:
+            raise ValueError("command overhead cannot be negative")
+        if self.program_latency_s <= 0 or self.erase_latency_s <= 0:
+            raise ValueError("program/erase latencies must be positive")
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Channel-bus occupancy for moving ``nbytes`` off a page buffer."""
+        return nbytes / self.channel_bandwidth
+
+    def with_latency(self, latency_s: float) -> "FlashTiming":
+        """Copy with a different array read latency (Fig. 9 sweeps)."""
+        return replace(self, array_read_latency_s=latency_s)
+
+
+@dataclass(frozen=True)
+class SsdConfig:
+    """Full SSD parameterization (geometry + timing + interfaces)."""
+
+    geometry: SsdGeometry = field(default_factory=SsdGeometry)
+    timing: FlashTiming = field(default_factory=FlashTiming)
+    #: measured external (host-visible) sequential read bandwidth, bytes/s
+    external_bandwidth: float = 3.2 * GB
+    #: SSD-internal DRAM bandwidth available to the controller, bytes/s
+    dram_bandwidth: float = 20 * GB
+    #: SSD-internal DRAM capacity, bytes
+    dram_bytes: int = 4 * 1024**3
+    #: power drawn by the stock SSD hardware at peak (paper: ~20 W)
+    base_power_w: float = 20.0
+    #: PCIe slot power limit; budget left for accelerators is the difference
+    slot_power_w: float = 75.0
+
+    def __post_init__(self) -> None:
+        if self.external_bandwidth <= 0 or self.dram_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.dram_bytes <= 0:
+            raise ValueError("dram_bytes must be positive")
+
+    @property
+    def accelerator_power_budget_w(self) -> float:
+        """Power available to DeepStore accelerators (paper §4.5: ~55 W)."""
+        return self.slot_power_w - self.base_power_w
+
+    @property
+    def internal_bandwidth(self) -> float:
+        """Aggregate flash-side bandwidth across all channels."""
+        return self.geometry.channels * self.timing.channel_bandwidth
+
+    def with_channels(self, channels: int) -> "SsdConfig":
+        """Copy with a different channel count (Fig. 10 sweeps)."""
+        return replace(self, geometry=self.geometry.scaled(channels))
+
+    def with_flash_latency(self, latency_s: float) -> "SsdConfig":
+        """Copy with a different flash array read latency."""
+        return replace(self, timing=self.timing.with_latency(latency_s))

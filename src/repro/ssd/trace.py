@@ -1,0 +1,92 @@
+"""Flash access trace generation.
+
+The paper's methodology (§5) couples its two simulators through traces:
+the modified SCALE-Sim emits the flash accesses needed to stream database
+feature vectors, and SSD-Sim replays them to produce I/O timing.  We keep
+the same interface: :func:`scan_trace` turns database metadata into the
+ordered page accesses of a full scan, optionally restricted to one
+channel's stripe (each channel-level accelerator scans only the pages that
+live on its channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.ssd.ftl import DatabaseMetadata
+from repro.ssd.geometry import PhysicalPageAddress, SsdGeometry
+
+
+@dataclass(frozen=True)
+class PageAccess:
+    """One page read in a trace."""
+
+    ppn: int
+    address: PhysicalPageAddress
+    db_page_offset: int
+
+
+def scan_trace(
+    meta: DatabaseMetadata,
+    geometry: SsdGeometry,
+    channel: Optional[int] = None,
+    start_page: int = 0,
+    max_pages: Optional[int] = None,
+) -> Iterator[PageAccess]:
+    """Yield the page accesses of a sequential database scan.
+
+    With ``channel`` set, only pages stored on that channel are yielded —
+    the stripe a single channel-level (or chip-level, further filtered by
+    the caller) accelerator consumes.  ``start_page``/``max_pages`` select
+    a window, which the steady-state simulation mode uses.
+    """
+    if channel is not None and not 0 <= channel < geometry.channels:
+        raise ValueError(f"channel {channel} out of range")
+    emitted = 0
+    for offset, ppn in enumerate(meta.all_ppns()):
+        if offset < start_page:
+            continue
+        address = geometry.ppn_to_address(ppn)
+        if channel is not None and address.channel != channel:
+            continue
+        yield PageAccess(ppn=ppn, address=address, db_page_offset=offset)
+        emitted += 1
+        if max_pages is not None and emitted >= max_pages:
+            return
+
+
+def stripe_page_count(
+    meta: DatabaseMetadata, geometry: SsdGeometry, channel: int
+) -> int:
+    """Number of database pages stored on ``channel``.
+
+    For the sequential allocator, PPNs are channel-major, so a database of
+    ``P`` pages places ``ceil/floor(P / channels)`` pages per channel
+    depending on the start offset; this computes the exact count without
+    enumerating the trace.
+    """
+    if not 0 <= channel < geometry.channels:
+        raise ValueError(f"channel {channel} out of range")
+    total = 0
+    for extent in meta.extents:
+        # pages of this extent that land on `channel`
+        first = extent.start_ppn
+        count = extent.num_pages
+        first_ch = first % geometry.channels
+        delta = (channel - first_ch) % geometry.channels
+        if delta < count:
+            total += 1 + (count - delta - 1) // geometry.channels
+    # Clamp to the logical page count (the final extent may be oversized
+    # relative to `total_pages` only when appends buffered a tail).
+    return min(total, meta.total_pages)
+
+
+def stripe_feature_count(
+    meta: DatabaseMetadata, geometry: SsdGeometry, channel: int
+) -> float:
+    """Approximate number of features a channel's stripe holds."""
+    pages = stripe_page_count(meta, geometry, channel)
+    if meta.page_aligned:
+        return pages / meta.pages_per_feature
+    return min(float(meta.feature_count), pages * meta.features_per_page)

@@ -1,0 +1,32 @@
+"""Systolic-array cycle and access-count model (SCALE-Sim substitute).
+
+The paper models its in-storage accelerators with a modified SCALE-Sim: a
+rectangular systolic array of processing engines with output-stationary
+(OS) or weight-stationary (WS) dataflow, extended with per-row input lines
+so element-wise operations run at ``rows`` elements/cycle (paper §4.3), a
+banked scratchpad hierarchy, and a top-K sorter.
+
+This package provides the analytic equivalents:
+
+* :class:`SystolicArray` — per-layer cycle counts (tile fill/stream/drain
+  accounting) and SRAM/DRAM access counts for the energy model;
+* :class:`ScratchpadHierarchy` — weight-residency decisions and streaming
+  bandwidth limits (channel-level accelerators use the SSD-level 8 MB
+  scratchpad as a shared second level, paper §4.5);
+* :class:`GraphMapper` — maps a whole SCN graph to an array and returns
+  the per-feature execution profile the DeepStore system model consumes.
+"""
+
+from repro.systolic.array import LayerProfile, SystolicArray, SystolicConfig
+from repro.systolic.mapper import GraphMapper, GraphProfile
+from repro.systolic.scratchpad import ScratchpadHierarchy, ScratchpadLevel
+
+__all__ = [
+    "SystolicArray",
+    "SystolicConfig",
+    "LayerProfile",
+    "ScratchpadHierarchy",
+    "ScratchpadLevel",
+    "GraphMapper",
+    "GraphProfile",
+]

@@ -1,0 +1,132 @@
+"""Scratchpad hierarchy model.
+
+Each DeepStore accelerator owns a private SRAM scratchpad (L1); the
+channel-level accelerators additionally use the SSD-level 8 MB scratchpad
+as a *shared second level* so model weights are fetched from DRAM once and
+re-used 32x across channels (paper §4.5).  Chip-level accelerators receive
+weights over the flash channel bus, scheduled by their channel accelerator.
+
+The model answers two questions per layer:
+
+* **residency** — do this layer's weights fit in L1 (after reserving space
+  for feature/activation buffers)?  Resident weights are loaded once per
+  query; non-resident weights stream once per feature batch.
+* **streaming bandwidth** — how fast can non-resident weights arrive?  The
+  next level's bandwidth divided by the number of sharers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ScratchpadLevel:
+    """One level of on-/off-accelerator buffering."""
+
+    name: str
+    size_bytes: int
+    bandwidth_bytes_per_s: float
+    sharers: int = 1  # accelerators contending for this level
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.bandwidth_bytes_per_s <= 0 or self.sharers <= 0:
+            raise ValueError(f"invalid scratchpad level {self}")
+
+    @property
+    def bandwidth_per_sharer(self) -> float:
+        return self.bandwidth_bytes_per_s / self.sharers
+
+
+@dataclass
+class ResidencyPlan:
+    """Weight placement decision for one layer."""
+
+    layer_name: str
+    weight_bytes: int
+    resident: bool
+    stream_level: Optional[ScratchpadLevel]  # None when resident
+    stream_bandwidth: float  # bytes/s available for streaming (0 if resident)
+
+
+class ScratchpadHierarchy:
+    """L1 (+ optional shared L2 + backing DRAM) for one accelerator.
+
+    Weight capacity is the union of L1 (minus an activation reserve) and
+    the shared L2 when present: the channel-level design keeps one copy of
+    the model in the SSD-level 8 MB scratchpad, re-used by all 32 channel
+    accelerators (paper §4.5).  Weights that exceed that capacity stream
+    from DRAM once per feature — broadcast in lockstep to every sharer, so
+    each accelerator sees the full DRAM bandwidth.
+    """
+
+    #: fraction of L1 reserved for feature vectors, activations and the
+    #: FLASH_DFV staging (the rest holds weights) ...
+    ACTIVATION_RESERVE = 0.25
+    #: ... capped at the FLASH_DFV queue footprint — large scratchpads
+    #: (the SSD level's 8 MB) don't need a proportionally larger reserve
+    ACTIVATION_RESERVE_CAP_BYTES = 128 * 1024
+
+    def __init__(
+        self,
+        l1: ScratchpadLevel,
+        l2: Optional[ScratchpadLevel] = None,
+        dram: Optional[ScratchpadLevel] = None,
+    ):
+        self.l1 = l1
+        self.l2 = l2
+        self.dram = dram
+
+    @property
+    def activation_reserve_bytes(self) -> int:
+        return min(
+            int(self.l1.size_bytes * self.ACTIVATION_RESERVE),
+            self.ACTIVATION_RESERVE_CAP_BYTES,
+        )
+
+    @property
+    def l1_weight_capacity_bytes(self) -> int:
+        return self.l1.size_bytes - self.activation_reserve_bytes
+
+    @property
+    def weight_capacity_bytes(self) -> int:
+        """Total resident weight capacity (L1 reserve + shared L2)."""
+        capacity = self.l1_weight_capacity_bytes
+        if self.l2 is not None:
+            capacity += self.l2.size_bytes
+        return capacity
+
+    def plan_weights(self, layers: List[tuple[str, int]]) -> List[ResidencyPlan]:
+        """Per-layer residency: a layer is resident iff it fits capacity.
+
+        ``layers`` is ``[(name, weight_bytes), ...]`` in execution order.
+        Residency is decided per layer because the shared L2 double-
+        buffers one layer's weights at a time as execution proceeds
+        through the network — so a 9 MB model whose largest layer is
+        8 MB cycles through an 8 MB L2 at negligible cost, while a single
+        10 MB layer (ReId's FC) cannot be staged and must stream from
+        DRAM on every use, exactly the distinction the paper draws
+        between ESTP and ReId.
+        """
+        capacity = self.weight_capacity_bytes
+        plans: dict[str, ResidencyPlan] = {}
+        for name, nbytes in layers:
+            if nbytes <= capacity:
+                plans[name] = ResidencyPlan(name, nbytes, True, None, 0.0)
+            else:
+                level = self._stream_level(nbytes)
+                plans[name] = ResidencyPlan(
+                    name, nbytes, False, level, level.bandwidth_per_sharer
+                )
+        return [plans[name] for name, _ in layers]
+
+    def _stream_level(self, nbytes: int) -> ScratchpadLevel:
+        """Where non-resident weights stream from (DRAM when available)."""
+        if self.dram is not None:
+            return self.dram
+        if self.l2 is not None:
+            return self.l2
+        raise ValueError(
+            f"weights of {nbytes} bytes exceed L1 and no backing level exists"
+        )

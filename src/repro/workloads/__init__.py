@@ -1,0 +1,62 @@
+"""Intelligent-query workloads (paper Table 1).
+
+Five applications spanning visual, audio, and text retrieval:
+
+=========  ======  =========  =====  ====  ====  =======  ==========
+App        Type    Feature    #Conv  #FC   #EW   FLOPs    Weights
+=========  ======  =========  =====  ====  ====  =======  ==========
+ReId       visual  44 KB      2      2     1     9.8 M    10.7 MB
+MIR        audio   2 KB       0      3     0     1.05 M   2 MB
+ESTP       visual  16 KB      0      3     0     4.72 M   9 MB
+TIR        text    2 KB       0      3     1     0.79 M   1.5 MB
+TextQA     text    0.8 KB     0      1     1     0.08 M   0.16 MB
+=========  ======  =========  =====  ====  ====  =======  ==========
+
+Each :class:`AppSpec` builds its similarity comparison network (SCN) with
+layer shapes calibrated so feature size, layer counts, FLOPs and weight
+bytes all land within a few percent of Table 1 (asserted by tests), plus
+synthetic feature databases and query streams with controllable locality.
+"""
+
+from repro.workloads.apps import (
+    ALL_APPS,
+    APP_NAMES,
+    AppSpec,
+    Table1Row,
+    get_app,
+)
+from repro.workloads.features import (
+    FeatureDatasetSpec,
+    make_clustered_features,
+    plant_neighbors,
+)
+from repro.workloads.queries import QueryRecord, QueryStream, ZipfSampler
+from repro.workloads.pretrained import train_scn, train_scn_by_name
+from repro.workloads.traces import (
+    LatencyDistribution,
+    QueryTrace,
+    TracedQuery,
+    capture_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "AppSpec",
+    "Table1Row",
+    "ALL_APPS",
+    "APP_NAMES",
+    "get_app",
+    "FeatureDatasetSpec",
+    "make_clustered_features",
+    "plant_neighbors",
+    "QueryStream",
+    "QueryRecord",
+    "ZipfSampler",
+    "train_scn",
+    "train_scn_by_name",
+    "QueryTrace",
+    "TracedQuery",
+    "capture_trace",
+    "replay_trace",
+    "LatencyDistribution",
+]

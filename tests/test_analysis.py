@@ -1,0 +1,82 @@
+"""Tests for metrics and reporting helpers."""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    compare_levels,
+    energy_efficiency,
+    evaluate_level,
+    format_seconds,
+    format_si,
+    speedup,
+)
+from repro.workloads import get_app
+from tests.conftest import make_db
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_energy_efficiency(self):
+        # same time, half the power -> 2x perf/W
+        assert energy_efficiency(1.0, 200.0, 1.0, 100.0) == pytest.approx(2.0)
+        # 2x faster at the same power -> 2x
+        assert energy_efficiency(2.0, 100.0, 1.0, 100.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            energy_efficiency(1, 0, 1, 1)
+
+    def test_evaluate_level_cell(self, ssd, baseline):
+        app = get_app("tir")
+        meta = make_db(ssd, app.feature_bytes, gigabytes=1.0)
+        cell = evaluate_level(app, meta, "channel", baseline=baseline)
+        assert cell.supported
+        assert cell.speedup > 1.0
+        assert cell.energy_efficiency > 1.0
+        assert cell.bound in ("compute", "flash", "weight-broadcast")
+
+    def test_unsupported_cell(self, ssd, baseline):
+        app = get_app("reid")
+        meta = make_db(ssd, app.feature_bytes, gigabytes=1.0)
+        cell = evaluate_level(app, meta, "chip", baseline=baseline)
+        assert not cell.supported
+        assert cell.speedup == 0.0
+
+    def test_compare_levels_covers_all(self, ssd, baseline):
+        app = get_app("mir")
+        meta = make_db(ssd, app.feature_bytes, gigabytes=1.0)
+        cells = compare_levels(app, meta, baseline=baseline)
+        assert [c.level for c in cells] == ["ssd", "channel", "chip"]
+
+
+class TestReporting:
+    def test_format_si(self):
+        assert format_si(1.05e6) == "1.05M"
+        assert format_si(78.6e9, "FLOP/s") == "78.60GFLOP/s"
+        assert format_si(0) == "0"
+        assert format_si(42) == "42.00"
+
+    def test_format_seconds(self):
+        assert format_seconds(0) == "0s"
+        assert format_seconds(3e-6) == "3.00us"
+        assert format_seconds(2.5e-3) == "2.50ms"
+        assert format_seconds(1.25) == "1.250s"
+        with pytest.raises(ValueError):
+            format_seconds(-1)
+
+    def test_table_render(self):
+        t = Table("Demo", ["app", "speedup"])
+        t.add_row("tir", "10.7x")
+        text = t.render()
+        assert "Demo" in text
+        assert "tir" in text and "10.7x" in text
+
+    def test_table_validation(self):
+        with pytest.raises(ValueError):
+            Table("x", [])
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")

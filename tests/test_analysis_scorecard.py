@@ -1,0 +1,86 @@
+"""Tests for the reproduction scorecard."""
+
+import json
+
+import pytest
+
+from repro.analysis.scorecard import (
+    PAPER_ENERGY,
+    PAPER_SPEEDUP,
+    Scorecard,
+    ScorecardCell,
+    build_scorecard,
+)
+
+
+class TestCellVerdicts:
+    def test_within(self):
+        cell = ScorecardCell("speedup", "tir", "channel", 10.0, 11.0, 2.5)
+        assert cell.verdict == "within"
+        assert cell.ratio == pytest.approx(1.1)
+
+    def test_shape(self):
+        cell = ScorecardCell("speedup", "tir", "channel", 10.0, 5.0, 2.5)
+        assert cell.verdict == "shape"
+
+    def test_off(self):
+        cell = ScorecardCell("speedup", "tir", "channel", 10.0, 2.0, 2.5)
+        assert cell.verdict == "off"
+
+    def test_na_match(self):
+        cell = ScorecardCell("speedup", "reid", "chip", None, None, 2.5)
+        assert cell.verdict == "match"
+        assert cell.ratio is None
+
+    def test_mismatch(self):
+        cell = ScorecardCell("speedup", "reid", "chip", None, 3.0, 2.5)
+        assert cell.verdict == "mismatch"
+
+
+class TestPaperTables:
+    def test_tables_cover_all_cells(self):
+        for table in (PAPER_SPEEDUP, PAPER_ENERGY):
+            assert set(table) == {"reid", "mir", "estp", "tir", "textqa"}
+            for row in table.values():
+                assert set(row) == {"ssd", "channel", "chip"}
+        assert PAPER_SPEEDUP["reid"]["chip"] is None
+        assert PAPER_SPEEDUP["textqa"]["channel"] == pytest.approx(17.74)
+
+
+class TestBuildScorecard:
+    @pytest.fixture(scope="class")
+    def card(self):
+        return build_scorecard(gigabytes=2.0)
+
+    def test_full_grid(self, card):
+        # 5 apps x 3 levels x 2 experiments
+        assert len(card.cells) == 30
+
+    def test_no_mismatches(self, card):
+        assert card.counts["mismatch"] == 0
+
+    def test_structural_claims_hold(self, card):
+        assert card.structural_ok, card.structural
+        assert set(card.structural) >= {
+            "io_fraction_band", "volta_compute_faster", "reid_worst_channel",
+            "textqa_best_channel", "ssd_level_below_1x",
+        }
+
+    def test_majority_within_tolerance(self, card):
+        counts = card.counts
+        assert counts["within"] + counts["shape"] >= 24
+
+    def test_json_roundtrip(self, card):
+        payload = json.loads(card.to_json())
+        assert len(payload["cells"]) == 30
+        assert payload["counts"] == card.counts
+        assert payload["structural"] == card.structural
+
+    def test_render_contains_totals(self, card):
+        text = card.render()
+        assert "Reproduction scorecard" in text
+        assert "totals:" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_scorecard(tolerance=0.5)

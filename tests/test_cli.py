@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_speedup_options(self):
+        args = build_parser().parse_args(["speedup", "--app", "tir",
+                                          "--gigabytes", "2"])
+        assert args.app == "tir"
+        assert args.gigabytes == 2.0
+
+    def test_cache_defaults(self):
+        args = build_parser().parse_args(["cache"])
+        assert args.distribution == "zipf"
+        assert args.threshold == 0.10
+
+    def test_demo_rejects_bad_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--app", "nope"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "32 channels" in out
+        assert "55 W" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("reid", "mir", "estp", "tir", "textqa"):
+            assert name in out
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown"]) == 0
+        assert "SSD read %" in capsys.readouterr().out
+
+    def test_speedup_single_app(self, capsys):
+        assert main(["speedup", "--app", "textqa", "--gigabytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "textqa" in out
+        assert "x" in out
+
+    def test_dse(self, capsys):
+        assert main(["dse"]) == 0
+        out = capsys.readouterr().out
+        assert "32768" in out
+
+    def test_cache(self, capsys):
+        assert main([
+            "cache", "--entries", "64", "--queries", "200",
+            "--intents", "200", "--distribution", "uniform",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "miss rate" in out
+
+    def test_demo(self, capsys):
+        assert main([
+            "demo", "--app", "textqa", "--features", "2000", "--seed", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recall of planted neighbors" in out
+
+    def test_plan(self, capsys):
+        assert main([
+            "plan", "--app", "tir", "--features", "1000000", "--qps", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[OK]" in out
+
+    def test_plan_infeasible_capacity(self, capsys):
+        assert main([
+            "plan", "--app", "reid", "--features", "2000000000",
+            "--qps", "1.0",
+        ]) == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_scorecard(self, capsys):
+        assert main(["scorecard", "--gigabytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction scorecard" in out
+        assert "structural claims" in out
+
+    def test_scorecard_json(self, capsys):
+        import json
+
+        assert main(["scorecard", "--gigabytes", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["mismatch"] == 0

@@ -1,0 +1,216 @@
+"""Tests for the DeepStore programming API (paper Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import DeepStoreApiError, DeepStoreDevice
+from repro.nn import graph_to_bytes
+from repro.workloads import get_app, plant_neighbors
+from repro.workloads.pretrained import train_scn
+
+
+@pytest.fixture
+def device():
+    return DeepStoreDevice()
+
+
+@pytest.fixture
+def tir_db(device, rng):
+    features = rng.normal(0, 1, (4096, 512)).astype(np.float32)
+    return device.write_db(features), features
+
+
+@pytest.fixture
+def tir_model(device, tir_app):
+    return device.load_model(graph_to_bytes(tir_app.build_scn(seed=1)))
+
+
+class TestDatabaseApi:
+    def test_write_read_roundtrip(self, device, rng):
+        features = rng.normal(0, 1, (100, 64)).astype(np.float32)
+        db = device.write_db(features)
+        np.testing.assert_array_equal(device.read_db(db, 10, 5), features[10:15])
+        np.testing.assert_array_equal(device.read_db(db), features)
+
+    def test_write_registers_ftl_metadata(self, device, rng):
+        db = device.write_db(rng.normal(0, 1, (100, 512)).astype(np.float32))
+        meta = device.database_metadata(db)
+        assert meta.feature_bytes == 2048
+        assert meta.feature_count == 100
+
+    def test_append(self, device, rng):
+        a = rng.normal(0, 1, (50, 64)).astype(np.float32)
+        b = rng.normal(0, 1, (30, 64)).astype(np.float32)
+        db = device.write_db(a)
+        device.append_db(db, b)
+        assert device.database_metadata(db).feature_count == 80
+        np.testing.assert_array_equal(device.read_db(db, 50, 30), b)
+
+    def test_append_size_mismatch(self, device, rng):
+        db = device.write_db(rng.normal(0, 1, (10, 64)).astype(np.float32))
+        with pytest.raises(DeepStoreApiError):
+            device.append_db(db, rng.normal(0, 1, (5, 32)).astype(np.float32))
+
+    def test_read_out_of_range(self, device, rng):
+        db = device.write_db(rng.normal(0, 1, (10, 8)).astype(np.float32))
+        with pytest.raises(DeepStoreApiError):
+            device.read_db(db, 5, 10)
+
+    def test_unknown_db(self, device):
+        with pytest.raises(DeepStoreApiError):
+            device.read_db(99)
+
+    def test_bad_features(self, device):
+        with pytest.raises(DeepStoreApiError):
+            device.write_db(np.zeros((0, 4), dtype=np.float32))
+        with pytest.raises(DeepStoreApiError):
+            device.write_db(np.zeros(8, dtype=np.float32))
+
+
+class TestModelApi:
+    def test_load_model_blob(self, device, tir_app):
+        blob = graph_to_bytes(tir_app.build_scn())
+        model_id = device.load_model(blob)
+        assert model_id >= 1
+        # DRAM footprint tracked
+        assert device.ssd.dram.allocation(f"model{model_id}") == len(blob)
+
+    def test_model_ids_unique(self, device, tir_app):
+        blob = graph_to_bytes(tir_app.build_scn())
+        assert device.load_model(blob) != device.load_model(blob)
+
+
+class TestQueryApi:
+    def test_query_returns_topk_sorted(self, device, tir_db, tir_model, rng):
+        db, _ = tir_db
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        res = device.get_results(device.query(qfv, 10, tir_model, db))
+        assert res.k == 10
+        assert list(res.scores) == sorted(res.scores, reverse=True)
+        assert len(set(res.feature_ids.tolist())) == 10
+
+    def test_topk_matches_exhaustive_scoring(self, device, tir_db, tir_model, rng):
+        db, features = tir_db
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        res = device.get_results(device.query(qfv, 5, tir_model, db))
+        graph = device._models[tir_model]
+        all_scores = device._score_features(graph, qfv, features)
+        expected = np.argsort(-all_scores)[:5]
+        assert set(res.feature_ids.tolist()) == set(expected.tolist())
+
+    def test_trained_model_retrieves_planted_neighbors(self, device, rng):
+        app = get_app("textqa")
+        graph = train_scn(app, seed=0)
+        anchor = rng.normal(0, 1, 200).astype(np.float32)
+        features = rng.normal(0, 1, (3000, 200)).astype(np.float32)
+        features, planted = plant_neighbors(features, anchor, k=5, noise=0.2, seed=1)
+        db = device.write_db(features)
+        model = device.load_graph(graph)
+        qfv = anchor + rng.normal(0, 0.2, 200).astype(np.float32)
+        res = device.get_results(device.query(qfv, 10, model, db))
+        recall = len(set(res.feature_ids.tolist()) & set(planted.tolist())) / 5
+        assert recall >= 0.8
+
+    def test_subrange_query(self, device, tir_db, tir_model, rng):
+        db, _ = tir_db
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        res = device.get_results(
+            device.query(qfv, 5, tir_model, db, db_start=1000, db_end=2000)
+        )
+        assert all(1000 <= i < 2000 for i in res.feature_ids)
+
+    def test_latency_attached(self, device, tir_db, tir_model, rng):
+        db, _ = tir_db
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        res = device.get_results(device.query(qfv, 5, tir_model, db))
+        assert res.latency.total_seconds > 0
+        assert res.latency.level == "channel"
+        assert res.seconds == res.latency.total_seconds
+
+    def test_result_dma_charged(self, device, tir_db, tir_model, rng):
+        db, _ = tir_db
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        res = device.get_results(device.query(qfv, 5, tir_model, db))
+        expected = 5 * (2048 + 8) / 3.2e9
+        assert res.transfer_seconds == pytest.approx(expected)
+        assert res.seconds_to_host == pytest.approx(
+            res.seconds + res.transfer_seconds
+        )
+
+    def test_accel_level_override(self, device, tir_db, tir_model, rng):
+        db, _ = tir_db
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        chip = device.get_results(
+            device.query(qfv, 5, tir_model, db, accel_level="chip")
+        )
+        channel = device.get_results(device.query(qfv, 5, tir_model, db))
+        assert chip.latency.level == "chip"
+        assert chip.latency.total_seconds > channel.latency.total_seconds
+
+    def test_object_ids_are_physical_addresses(self, device, tir_db, tir_model, rng):
+        db, _ = tir_db
+        meta = device.database_metadata(db)
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        res = device.get_results(device.query(qfv, 5, tir_model, db))
+        start_byte = meta.start_ppn * meta.page_bytes
+        end_byte = (meta.extents[-1].end_ppn) * meta.page_bytes
+        assert all(start_byte <= oid < end_byte for oid in res.object_ids)
+
+    def test_reid_rejected_at_chip_level(self, device, rng):
+        app = get_app("reid")
+        features = rng.normal(0, 1, (16, app.feature_floats)).astype(np.float32)
+        db = device.write_db(features)
+        model = device.load_graph(app.build_scn())
+        with pytest.raises(DeepStoreApiError):
+            device.query(
+                rng.normal(0, 1, app.feature_floats).astype(np.float32),
+                4, model, db, accel_level="chip",
+            )
+
+    def test_bad_requests(self, device, tir_db, tir_model, rng):
+        db, _ = tir_db
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        with pytest.raises(DeepStoreApiError):
+            device.query(qfv, 0, tir_model, db)
+        with pytest.raises(DeepStoreApiError):
+            device.query(qfv, 5, 999, db)
+        with pytest.raises(DeepStoreApiError):
+            device.query(qfv, 5, tir_model, db, db_start=50, db_end=10)
+        with pytest.raises(DeepStoreApiError):
+            device.query(rng.normal(0, 1, 100).astype(np.float32), 5, tir_model, db)
+        with pytest.raises(DeepStoreApiError):
+            device.get_results(type("H", (), {"query_id": 12345})())
+
+
+class TestQueryCacheIntegration:
+    def test_hit_on_repeat_and_paraphrase(self, device, tir_db, tir_model, rng):
+        db, _ = tir_db
+        device.set_qc(threshold=0.10, capacity=16)
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        first = device.get_results(device.query(qfv, 5, tir_model, db))
+        assert not first.cache_hit
+        para = qfv + rng.normal(0, 0.03, 512).astype(np.float32)
+        second = device.get_results(device.query(para, 5, tir_model, db))
+        assert second.cache_hit
+        # the hit skips the scan; on this deliberately tiny test database
+        # the fixed engine overheads compress the ratio, so just require
+        # a clear win (paper-scale databases give orders of magnitude)
+        assert second.seconds < first.seconds / 2
+
+    def test_hit_reranks_cached_candidates(self, device, tir_db, tir_model, rng):
+        db, _ = tir_db
+        device.set_qc(threshold=0.10, capacity=16)
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        first = device.get_results(device.query(qfv, 5, tir_model, db))
+        second = device.get_results(device.query(qfv, 5, tir_model, db))
+        assert set(second.feature_ids.tolist()) <= set(first.feature_ids.tolist())
+
+    def test_unrelated_query_misses(self, device, tir_db, tir_model, rng):
+        db, _ = tir_db
+        device.set_qc(threshold=0.10, capacity=16)
+        device.query(rng.normal(0, 1, 512).astype(np.float32), 5, tir_model, db)
+        other = device.get_results(
+            device.query(rng.normal(0, 1, 512).astype(np.float32), 5, tir_model, db)
+        )
+        assert not other.cache_hit
+        assert device.query_cache.misses == 2

@@ -1,0 +1,78 @@
+"""Tests for the deployment capacity planner."""
+
+import pytest
+
+from repro.core.capacity import (
+    PlanningError,
+    _miss_rate_estimate,
+    best_plan,
+    plan_deployment,
+)
+
+
+class TestMissEstimate:
+    def test_bounds(self):
+        assert _miss_rate_estimate(0, 1000, 0.7) == 1.0
+        assert _miss_rate_estimate(1000, 1000, 0.7) == 0.0
+
+    def test_monotone_in_entries(self):
+        rates = [_miss_rate_estimate(e, 5000, 0.7) for e in (100, 500, 2000)]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_skew_lowers_miss(self):
+        flat = _miss_rate_estimate(500, 5000, 0.1)
+        skewed = _miss_rate_estimate(500, 5000, 1.0)
+        assert skewed < flat
+
+
+class TestPlanning:
+    def test_easy_target_needs_one_ssd(self):
+        plan = best_plan("tir", corpus_features=1_000_000, target_qps=0.5)
+        assert plan.feasible
+        assert plan.num_ssds == 1
+        assert plan.level == "channel"  # measured-best level
+
+    def test_cache_unlocks_higher_qps(self):
+        plans = plan_deployment("tir", corpus_features=50_000_000,
+                                target_qps=20.0)
+        feasible = [p for p in plans if p.feasible]
+        assert feasible
+        assert feasible[0].cache_entries > 0  # raw scans cannot hit 20 qps
+
+    def test_huge_corpus_needs_more_devices(self):
+        small = best_plan("tir", corpus_features=10_000_000, target_qps=0.2)
+        # a 4 TB corpus cannot fit one 1 TiB SSD
+        huge = best_plan("tir", corpus_features=2_000_000_000, target_qps=0.2)
+        assert huge.num_ssds > small.num_ssds
+
+    def test_infeasible_flagged_not_hidden(self):
+        plans = plan_deployment(
+            "reid", corpus_features=10_000_000, target_qps=1e6,
+            max_ssds=2, cache_options=(0,),
+        )
+        assert plans
+        assert not any(p.feasible for p in plans)
+        assert plans[0].utilization > 1.0
+
+    def test_capacity_overflow_raises(self):
+        with pytest.raises(PlanningError):
+            plan_deployment(
+                "reid", corpus_features=500_000_000, target_qps=1.0,
+                max_ssds=2,
+            )
+
+    def test_describe_readable(self):
+        plan = best_plan("mir", corpus_features=1_000_000, target_qps=0.5)
+        text = plan.describe()
+        assert "mir" in text and "qps" in text
+        assert text.startswith("[OK]") or text.startswith("[INSUFFICIENT]")
+
+    def test_validation(self):
+        with pytest.raises(PlanningError):
+            plan_deployment("tir", corpus_features=0, target_qps=1.0)
+        with pytest.raises(PlanningError):
+            plan_deployment("tir", corpus_features=10, target_qps=0.0)
+
+    def test_reid_never_plans_chip_level(self):
+        plan = best_plan("reid", corpus_features=1_000_000, target_qps=0.05)
+        assert plan.level in ("ssd", "channel")

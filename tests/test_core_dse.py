@@ -1,0 +1,88 @@
+"""Tests for the design-space exploration (Fig. 6 / Table 3)."""
+
+import pytest
+
+from repro.core.dse import (
+    DesignPoint,
+    explore_pe_scaling,
+    search_configurations,
+    validate_placement_power,
+)
+from repro.core.placement import CHANNEL_LEVEL, CHIP_LEVEL, SSD_LEVEL
+
+
+class TestPeScaling:
+    def test_fc_curve_saturates(self):
+        # paper Fig. 6: "no performance gain beyond 512 PEs" for FC —
+        # growth from 512 to 32K PEs is small compared to 128 -> 512
+        points = {p.num_pes: p.speedup for p in explore_pe_scaling("fc")}
+        early_gain = points[512] / points[128]
+        late_gain = points[32768] / points[512]
+        assert late_gain < early_gain
+        assert late_gain < 1.7
+
+    def test_conv_curve_saturates_later(self):
+        points = {p.num_pes: p.speedup for p in explore_pe_scaling("conv")}
+        assert points[1024] / points[128] > 1.5  # still gaining at 1K
+        assert points[32768] / points[16384] < 1.05  # flat at the end
+
+    def test_speedup_monotone_nondecreasing(self):
+        for layer in ("fc", "conv"):
+            speedups = [p.speedup for p in explore_pe_scaling(layer)]
+            assert all(b >= a * 0.999 for a, b in zip(speedups, speedups[1:]))
+
+    def test_first_point_is_baseline(self):
+        points = explore_pe_scaling("fc")
+        assert points[0].speedup == pytest.approx(1.0)
+
+    def test_custom_dims(self):
+        points = explore_pe_scaling(dims=(64, 64, 64), pe_counts=(64, 256))
+        assert len(points) == 2
+        assert all(isinstance(p, DesignPoint) for p in points)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            explore_pe_scaling("pool")
+
+
+class TestConfigSearch:
+    def test_feasible_configs_exist_within_channel_budget(self, ssd_config):
+        candidates = search_configurations("channel", power_budget_w=1.71)
+        feasible = [c for c in candidates if c.feasible]
+        assert feasible, "no configuration fits the channel power budget"
+        # feasible candidates sort first
+        assert candidates[0].feasible
+
+    def test_bigger_budget_admits_more(self):
+        small = [c for c in search_configurations("x", 0.5) if c.feasible]
+        large = [c for c in search_configurations("x", 55.0) if c.feasible]
+        assert len(large) >= len(small)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            search_configurations("x", power_budget_w=0)
+
+
+class TestPlacementPower:
+    def test_channel_accels_within_budget(self, ssd_config):
+        # Table-3 channel design: 1.71 W per accelerator.  ReId streams
+        # weights from the (shared, device-level) DRAM, so its DRAM term
+        # is excluded from the per-accelerator envelope.
+        powers = validate_placement_power(CHANNEL_LEVEL)
+        for app_name, power in powers.items():
+            if app_name == "reid":
+                continue
+            assert power < 2.2, f"{app_name}: {power:.2f} W"
+
+    def test_chip_accels_within_budget(self):
+        powers = validate_placement_power(CHIP_LEVEL)
+        for app_name, power in powers.items():
+            assert power < 0.6, f"{app_name}: {power:.2f} W"
+
+    def test_ssd_level_within_budget(self):
+        powers = validate_placement_power(SSD_LEVEL)
+        for app_name, power in powers.items():
+            assert power < 55.0, f"{app_name}: {power:.2f} W"
+
+    def test_chip_skips_reid(self):
+        assert "reid" not in validate_placement_power(CHIP_LEVEL)

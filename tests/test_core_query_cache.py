@@ -1,0 +1,207 @@
+"""Tests for the similarity query cache (Algorithm 1) and its simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.query_cache import (
+    CacheTimingModel,
+    EmbeddingComparator,
+    QueryCache,
+    QueryCacheSimulator,
+)
+from repro.workloads import QueryStream
+
+
+def make_cache(capacity=8, threshold=0.10, qcn_accuracy=0.98):
+    return QueryCache(
+        capacity=capacity,
+        comparator=EmbeddingComparator(),
+        qcn_accuracy=qcn_accuracy,
+        threshold=threshold,
+    )
+
+
+def insert(cache, qfv, k=4):
+    cache.insert(qfv, np.zeros(k), np.arange(k))
+
+
+class TestEmbeddingComparator:
+    def test_identical_queries_score_near_one(self, rng):
+        q = rng.normal(0, 1, 64).astype(np.float32)
+        assert EmbeddingComparator().score(q, q) > 0.9
+
+    def test_unrelated_queries_score_near_zero(self, rng):
+        c = EmbeddingComparator()
+        a = rng.normal(0, 1, 256).astype(np.float32)
+        b = rng.normal(0, 1, 256).astype(np.float32)
+        assert c.score(a, b) < 0.1
+
+    def test_score_decreases_with_noise(self, rng):
+        c = EmbeddingComparator()
+        base = rng.normal(0, 1, 256).astype(np.float32)
+        scores = [
+            c.score(base, base + rng.normal(0, sigma, 256).astype(np.float32))
+            for sigma in (0.05, 0.3, 1.0)
+        ]
+        assert scores[0] > scores[1] > scores[2]
+
+    def test_vectorized_matches_scalar(self, rng):
+        c = EmbeddingComparator()
+        q = rng.normal(0, 1, 32).astype(np.float32)
+        entries = rng.normal(0, 1, (5, 32)).astype(np.float32)
+        many = c.score_many(q, entries)
+        for i in range(5):
+            assert many[i] == pytest.approx(c.score(q, entries[i]), rel=1e-6)
+
+
+class TestAlgorithm1:
+    def test_miss_on_empty_cache(self, rng):
+        cache = make_cache()
+        result = cache.lookup(rng.normal(0, 1, 16).astype(np.float32))
+        assert not result.hit
+        assert cache.misses == 1
+
+    def test_hit_on_same_query(self, rng):
+        cache = make_cache(threshold=0.10)
+        q = rng.normal(0, 1, 64).astype(np.float32)
+        insert(cache, q)
+        result = cache.lookup(q)
+        assert result.hit
+        assert result.best_score > 0.9
+
+    def test_hit_on_paraphrase(self, rng):
+        cache = make_cache(threshold=0.10)
+        q = rng.normal(0, 1, 256).astype(np.float32)
+        insert(cache, q)
+        paraphrase = q + rng.normal(0, 0.05, 256).astype(np.float32)
+        assert cache.lookup(paraphrase).hit
+
+    def test_miss_on_unrelated(self, rng):
+        cache = make_cache(threshold=0.10)
+        insert(cache, rng.normal(0, 1, 256).astype(np.float32))
+        assert not cache.lookup(rng.normal(0, 1, 256).astype(np.float32)).hit
+
+    def test_zero_threshold_never_hits(self, rng):
+        # 1 - score*acc is always > 0 for acc < 1 (paper Fig. 13 at 0%)
+        cache = make_cache(threshold=0.0, qcn_accuracy=0.98)
+        q = rng.normal(0, 1, 64).astype(np.float32)
+        insert(cache, q)
+        assert not cache.lookup(q).hit
+
+    def test_higher_threshold_hits_more(self, rng):
+        hits = {}
+        for threshold in (0.05, 0.20):
+            cache = make_cache(threshold=threshold, capacity=64)
+            base = rng.normal(0, 1, 128).astype(np.float32)
+            insert(cache, base)
+            n_hit = 0
+            local = np.random.default_rng(0)
+            for _ in range(100):
+                probe = base + local.normal(0, 0.35, 128).astype(np.float32)
+                if cache.lookup(probe).hit:
+                    n_hit += 1
+            hits[threshold] = n_hit
+        assert hits[0.20] >= hits[0.05]
+
+    def test_accuracy_scales_score(self, rng):
+        q = rng.normal(0, 1, 64).astype(np.float32)
+        strict = make_cache(threshold=0.05, qcn_accuracy=0.90)
+        insert(strict, q)
+        assert not strict.lookup(q).hit  # 1 - 0.9x < 0.05 impossible
+        lenient = make_cache(threshold=0.15, qcn_accuracy=0.90)
+        insert(lenient, q)
+        assert lenient.lookup(q).hit
+
+    def test_best_entry_selected(self, rng):
+        cache = make_cache(capacity=4, threshold=0.2)
+        near = rng.normal(0, 1, 64).astype(np.float32)
+        far = rng.normal(0, 1, 64).astype(np.float32)
+        cache.insert(far, np.zeros(2), np.array([0, 1]))
+        cache.insert(near, np.ones(2), np.array([2, 3]))
+        result = cache.lookup(near + rng.normal(0, 0.02, 64).astype(np.float32))
+        assert result.hit
+        assert list(result.entry.topk_feature_ids) == [2, 3]
+
+
+class TestLru:
+    def test_eviction_order(self, rng):
+        cache = make_cache(capacity=2, threshold=0.10)
+        a = rng.normal(0, 1, 64).astype(np.float32)
+        b = rng.normal(0, 1, 64).astype(np.float32)
+        c = rng.normal(0, 1, 64).astype(np.float32)
+        insert(cache, a)
+        insert(cache, b)
+        cache.lookup(a)  # promote a
+        insert(cache, c)  # evicts b
+        assert cache.lookup(a).hit
+        assert not cache.lookup(b).hit
+        assert cache.lookup(c).hit
+
+    def test_capacity_respected(self, rng):
+        cache = make_cache(capacity=3)
+        for _ in range(10):
+            insert(cache, rng.normal(0, 1, 16).astype(np.float32))
+        assert len(cache) == 3
+
+    def test_nbytes_counts_entries(self, rng):
+        cache = make_cache(capacity=4)
+        insert(cache, rng.normal(0, 1, 512).astype(np.float32), k=10)
+        # qfv 2 KB + 10 scores + 10 ids + 10 object ids + valid
+        assert cache.nbytes() >= 512 * 4 + 10 * (4 + 8 + 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_cache(capacity=0)
+        with pytest.raises(ValueError):
+            make_cache(threshold=1.5)
+        with pytest.raises(ValueError):
+            make_cache(qcn_accuracy=0.0)
+
+
+class TestCacheSimulator:
+    def run_sim(self, distribution, threshold=0.10, n_intents=200, n_queries=600,
+                capacity=64, alpha=0.7):
+        stream = QueryStream(
+            dim=128, n_intents=n_intents, distribution=distribution,
+            alpha=alpha, paraphrase_noise=0.1, seed=3,
+        )
+        cache = make_cache(capacity=capacity, threshold=threshold)
+        timing = CacheTimingModel(
+            lookup_seconds_per_entry=0.3e-6,
+            hit_seconds=100e-6,
+            miss_seconds=30e-3,
+        )
+        sim = QueryCacheSimulator(cache, timing)
+        return sim.run(stream.generate(n_queries), warmup=100)
+
+    def test_zipf_hits_more_than_uniform(self):
+        zipf = self.run_sim("zipf")
+        uniform = self.run_sim("uniform")
+        assert zipf.miss_rate < uniform.miss_rate
+
+    def test_speedup_grows_with_hit_rate(self):
+        zipf = self.run_sim("zipf")
+        uniform = self.run_sim("uniform")
+        baseline = 30e-3
+        assert zipf.speedup_over(baseline) > uniform.speedup_over(baseline) > 1.0
+
+    def test_bigger_cache_fewer_misses_under_locality(self):
+        small = self.run_sim("zipf", capacity=16)
+        large = self.run_sim("zipf", capacity=256)
+        assert large.miss_rate <= small.miss_rate
+
+    def test_threshold_sweep_monotone(self):
+        rates = [
+            self.run_sim("zipf", threshold=t).miss_rate
+            for t in (0.02, 0.10, 0.20)
+        ]
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_mean_time_between_hit_and_miss_cost(self):
+        report = self.run_sim("zipf")
+        assert 100e-6 < report.mean_seconds < 30e-3 + 1e-3
+
+    def test_timing_model(self):
+        timing = CacheTimingModel(1e-6, 1e-4, 1e-2)
+        assert timing.query_seconds(True, 100) == pytest.approx(1e-4 + 1e-4)
+        assert timing.query_seconds(False, 100) > 1e-2

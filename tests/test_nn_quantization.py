@@ -1,0 +1,158 @@
+"""Tests for post-training quantization (the §7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeepStoreSystem
+from repro.core.accelerator import InStorageAccelerator
+from repro.core.placement import CHANNEL_LEVEL
+from repro.nn import GraphBuilder
+from repro.nn.quantization import (
+    PRECISIONS,
+    QuantizationError,
+    accuracy_delta,
+    get_precision,
+    graph_precision,
+    pair_accuracy,
+    quantize_graph,
+)
+from repro.nn.training import make_pair_dataset
+from repro.ssd import Ssd, SsdConfig
+from repro.workloads import get_app
+
+
+def tiny_graph(seed=0):
+    b = GraphBuilder("tiny")
+    q = b.input((16,))
+    d = b.input((16,))
+    h = b.elementwise(q, d, "absdiff")
+    h = b.dense(h, 8, activation="relu")
+    h = b.dense(h, 1)
+    out = b.score_head(h, "sigmoid")
+    return b.build(out, seed=seed)
+
+
+class TestPrecisionSpecs:
+    def test_catalog(self):
+        assert set(PRECISIONS) == {"fp32", "fp16", "int8"}
+        assert get_precision("int8").ops_per_pe == 4
+        assert get_precision("fp16").weight_bytes == 2
+        assert get_precision("fp32").mac_j > get_precision("int8").mac_j
+
+    def test_unknown(self):
+        with pytest.raises(QuantizationError):
+            get_precision("int4")
+
+    def test_memory_scale(self):
+        assert get_precision("int8").memory_scale == pytest.approx(0.25)
+
+
+class TestQuantizeGraph:
+    def test_original_untouched(self):
+        g = tiny_graph()
+        before = {k: {n: v.copy() for n, v in p.items()} for k, p in g.params.items()}
+        quantize_graph(g, "int8")
+        assert g.dtype_bytes == 4
+        for node_id, params in g.params.items():
+            for name, tensor in params.items():
+                np.testing.assert_array_equal(tensor, before[node_id][name])
+
+    def test_weight_bytes_shrink(self):
+        g = tiny_graph()
+        q8 = quantize_graph(g, "int8")
+        q16 = quantize_graph(g, "fp16")
+        assert q8.weight_bytes() == g.weight_bytes() // 4
+        assert q16.weight_bytes() == g.weight_bytes() // 2
+        assert q8.layer_stats()[1].weight_bytes < g.layer_stats()[1].weight_bytes
+
+    def test_precision_recorded(self):
+        q = quantize_graph(tiny_graph(), "int8")
+        assert q.precision == "int8"
+        assert graph_precision(q).name == "int8"
+        assert graph_precision(tiny_graph()).name == "fp32"
+
+    def test_int8_values_on_grid(self):
+        g = tiny_graph()
+        q = quantize_graph(g, "int8")
+        for node_id, params in q.params.items():
+            for name, tensor in params.items():
+                scale = float(np.max(np.abs(g.params[node_id][name])))
+                if scale == 0:
+                    continue
+                step = scale / 127.0
+                ratio = tensor / step
+                np.testing.assert_allclose(ratio, np.round(ratio), atol=1e-3)
+
+    def test_quantization_error_small(self, rng):
+        g = tiny_graph()
+        q = quantize_graph(g, "int8")
+        x = rng.normal(0, 1, (10, 16)).astype(np.float32)
+        y = rng.normal(0, 1, (10, 16)).astype(np.float32)
+        orig = g.forward({0: x, 1: y})
+        quant = q.forward({0: x, 1: y})
+        assert np.max(np.abs(orig - quant)) < 0.1
+
+    def test_accuracy_preserved_on_trained_model(self, rng):
+        from repro.workloads import train_scn
+
+        app = get_app("textqa")
+        trained = train_scn(app, seed=0)
+        q, f, y = make_pair_dataset(rng, app.feature_floats, 400)
+        base, quant = accuracy_delta(trained, quantize_graph(trained, "int8"),
+                                     q, f, y)
+        assert quant > base - 0.05
+
+    def test_pair_accuracy_helper(self, rng):
+        g = tiny_graph()
+        q, f, y = make_pair_dataset(rng, 16, 100)
+        acc = pair_accuracy(g, q, f, y)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestHardwareIntegration:
+    def test_accelerator_picks_up_precision(self, ssd_config):
+        app = get_app("tir")
+        fp32 = InStorageAccelerator(CHANNEL_LEVEL, ssd_config, app.build_scn())
+        int8 = InStorageAccelerator(
+            CHANNEL_LEVEL, ssd_config, quantize_graph(app.build_scn(), "int8")
+        )
+        assert int8.precision.name == "int8"
+        assert (
+            int8.compute_seconds_per_feature()
+            < fp32.compute_seconds_per_feature()
+        )
+
+    def test_reid_residency_flips_at_int8(self, ssd_config):
+        app = get_app("reid")
+        fp32 = InStorageAccelerator(CHANNEL_LEVEL, ssd_config, app.build_scn())
+        int8 = InStorageAccelerator(
+            CHANNEL_LEVEL, ssd_config, quantize_graph(app.build_scn(), "int8")
+        )
+        assert fp32.profile.bound == "weight-stream"
+        assert int8.profile.bound == "compute"
+
+    def test_quantized_query_latency_never_worse(self):
+        ssd = Ssd()
+        app = get_app("mir")
+        meta = ssd.ftl.create_database(app.feature_bytes, 1_000_000)
+        system = DeepStoreSystem.at_level("channel")
+        fp32 = system.query_latency(app, meta).total_seconds
+        int8 = system.query_latency(
+            app, meta, graph=quantize_graph(app.build_scn(), "int8")
+        ).total_seconds
+        assert int8 <= fp32 * 1.01
+
+    def test_quantized_energy_lower(self, ssd_config):
+        ssd = Ssd(ssd_config)
+        app = get_app("tir")
+        meta = ssd.ftl.create_database(app.feature_bytes, 1_000_000)
+        fp32 = InStorageAccelerator(CHANNEL_LEVEL, ssd_config, app.build_scn())
+        int8 = InStorageAccelerator(
+            CHANNEL_LEVEL, ssd_config, quantize_graph(app.build_scn(), "int8")
+        )
+        assert int8.feature_energy(meta).compute_j < fp32.feature_energy(meta).compute_j
+        assert int8.feature_energy(meta).sram_j < fp32.feature_energy(meta).sram_j
+        # flash energy unchanged: the stored database stays fp32
+        assert int8.feature_energy(meta).flash_j == pytest.approx(
+            fp32.feature_energy(meta).flash_j
+        )

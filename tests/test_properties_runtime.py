@@ -1,0 +1,106 @@
+"""Property-based tests over the runtime pieces (cache, commands, FTL)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.commands import Command, OPCODES
+from repro.core.query_cache import EmbeddingComparator, QueryCache
+from repro.ssd.ftl import BlockFtl
+from repro.ssd.geometry import SsdGeometry
+
+
+class TestCommandProperties:
+    @given(
+        st.sampled_from(sorted(OPCODES)),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                 max_size=7),
+        st.binary(max_size=256),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_encode_decode_roundtrip(self, opcode, cid, params, payload):
+        cmd = Command(opcode, cid, tuple(params), payload)
+        decoded = Command.decode(cmd.encode())
+        assert decoded.opcode == opcode
+        assert decoded.command_id == cid
+        assert decoded.params[: len(params)] == tuple(params)
+        assert all(p == 0 for p in decoded.params[len(params):])
+        assert decoded.payload == payload
+        assert decoded.total_bytes == cmd.total_bytes
+
+
+class TestCacheProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=5),
+                 min_size=1, max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cache_never_exceeds_capacity_and_counts_balance(
+        self, capacity, intent_sequence
+    ):
+        rng = np.random.default_rng(7)
+        centroids = rng.normal(0, 1, (6, 64)).astype(np.float32)
+        cache = QueryCache(
+            capacity=capacity,
+            comparator=EmbeddingComparator(),
+            qcn_accuracy=0.98,
+            threshold=0.10,
+        )
+        for intent in intent_sequence:
+            qfv = centroids[intent] + rng.normal(0, 0.02, 64).astype(np.float32)
+            result = cache.lookup(qfv)
+            if not result.hit:
+                cache.insert(qfv, [1.0], [intent])
+            assert len(cache) <= capacity
+        assert cache.hits + cache.misses == len(intent_sequence)
+        assert 0.0 <= cache.miss_rate <= 1.0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_repeat_of_cached_query_always_hits(self, seed):
+        rng = np.random.default_rng(seed)
+        cache = QueryCache(
+            capacity=4, comparator=EmbeddingComparator(),
+            qcn_accuracy=0.98, threshold=0.10,
+        )
+        qfv = rng.normal(0, 1, 32).astype(np.float32)
+        cache.insert(qfv, [1.0], [0])
+        assert cache.lookup(qfv).hit
+
+
+class TestFtlProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=64, max_value=65536),
+                      st.integers(min_value=1, max_value=5000)),
+            min_size=1, max_size=12,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_databases_never_overlap(self, specs):
+        ftl = BlockFtl(SsdGeometry())
+        metas = [ftl.create_database(fb, count) for fb, count in specs]
+        ranges = sorted(
+            (m.extents[0].start_ppn, m.extents[0].end_ppn) for m in metas
+        )
+        for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+            assert e1 <= s2
+
+    @given(st.integers(min_value=1, max_value=100_000),
+           st.integers(min_value=64, max_value=65536))
+    @settings(max_examples=40, deadline=None)
+    def test_page_count_covers_payload(self, count, feature_bytes):
+        ftl = BlockFtl(SsdGeometry())
+        meta = ftl.create_database(feature_bytes, count)
+        assert meta.stored_bytes >= 0
+        if meta.page_aligned:
+            assert meta.stored_bytes >= feature_bytes * count
+        else:
+            # packed layout wastes at most one partial feature slot/page
+            assert meta.total_pages * meta.features_per_page >= count
+        # every feature has a resolvable physical span
+        first = meta.feature_page_span(0)
+        last = meta.feature_page_span(count - 1)
+        assert 0 <= first[0] <= last[0] < meta.total_pages

@@ -1,0 +1,244 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import BoundedQueue, Resource, Simulator
+from repro.sim.engine import SimulationError
+
+
+class TestSimulator:
+    def test_runs_events_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_same_time_events_run_fifo(self):
+        sim = Simulator()
+        fired = []
+        for name in "abcd":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == list("abcd")
+
+    def test_schedule_after_uses_current_time(self):
+        sim = Simulator()
+        times = []
+        def chain():
+            times.append(sim.now)
+            if len(times) < 3:
+                sim.schedule_after(0.5, chain)
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert times == [1.0, 1.5, 2.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_until_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run(until=2.0)
+        assert fired == [2]
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        count = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: count.append(i))
+        sim.run(stop_when=lambda: len(count) >= 4)
+        assert len(count) == 4
+
+    def test_max_events(self):
+        sim = Simulator()
+        count = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: count.append(i))
+        sim.run(max_events=3)
+        assert len(count) == 3
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e1.cancel()
+        assert sim.peek() == 2.0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_events_always_fire_in_nondecreasing_time(self, times):
+        sim = Simulator()
+        observed = []
+        for t in times:
+            sim.schedule(t, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(times)
+
+
+class TestResource:
+    def test_exclusive_fifo_service(self):
+        sim = Simulator()
+        res = Resource(sim, "bus")
+        order = []
+        res.acquire(2.0, lambda: order.append(("a", sim.now)))
+        res.acquire(1.0, lambda: order.append(("b", sim.now)))
+        res.acquire(1.0, lambda: order.append(("c", sim.now)))
+        sim.run()
+        assert order == [("a", 2.0), ("b", 3.0), ("c", 4.0)]
+
+    def test_busy_seconds_accumulate(self):
+        sim = Simulator()
+        res = Resource(sim, "bus")
+        res.acquire(2.0, lambda: None)
+        res.acquire(3.0, lambda: None)
+        sim.run()
+        assert res.busy_seconds == pytest.approx(5.0)
+        assert res.grants == 2
+
+    def test_utilization(self):
+        sim = Simulator()
+        res = Resource(sim, "bus")
+        res.acquire(1.0, lambda: None)
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        assert res.utilization() == pytest.approx(0.25)
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim).acquire(-1.0, lambda: None)
+
+    def test_completion_can_reacquire(self):
+        sim = Simulator()
+        res = Resource(sim, "bus")
+        done = []
+        def again():
+            done.append(sim.now)
+            if len(done) < 3:
+                res.acquire(1.0, again)
+        res.acquire(1.0, again)
+        sim.run()
+        assert done == [1.0, 2.0, 3.0]
+
+    def test_peak_queue_depth(self):
+        sim = Simulator()
+        res = Resource(sim)
+        for _ in range(5):
+            res.acquire(1.0, lambda: None)
+        assert res.peak_queue_depth == 4
+
+
+class TestBoundedQueue:
+    def test_put_get_fifo(self):
+        sim = Simulator()
+        q = BoundedQueue(sim, capacity=4)
+        got = []
+        q.put("a", lambda: None)
+        q.put("b", lambda: None)
+        q.get(got.append)
+        q.get(got.append)
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_full_queue_blocks_producer(self):
+        sim = Simulator()
+        q = BoundedQueue(sim, capacity=1)
+        accepted = []
+        q.put("a", lambda: accepted.append("a"))
+        q.put("b", lambda: accepted.append("b"))
+        sim.run()
+        assert accepted == ["a"]
+        assert q.producer_stalls == 1
+        got = []
+        q.get(got.append)
+        sim.run()
+        assert accepted == ["a", "b"]
+        assert got == ["a"]
+
+    def test_empty_queue_blocks_consumer(self):
+        sim = Simulator()
+        q = BoundedQueue(sim, capacity=2)
+        got = []
+        q.get(got.append)
+        sim.run()
+        assert got == []
+        assert q.consumer_stalls == 1
+        q.put("x", lambda: None)
+        sim.run()
+        assert got == ["x"]
+
+    def test_direct_handoff_to_waiting_consumer(self):
+        sim = Simulator()
+        q = BoundedQueue(sim, capacity=1)
+        got = []
+        q.get(got.append)
+        q.put("x", lambda: None)
+        sim.run()
+        assert got == ["x"]
+        assert len(q) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(Simulator(), capacity=0)
+
+    def test_counters(self):
+        sim = Simulator()
+        q = BoundedQueue(sim, capacity=8)
+        for i in range(5):
+            q.put(i, lambda: None)
+        got = []
+        for _ in range(5):
+            q.get(got.append)
+        sim.run()
+        assert q.total_puts == 5
+        assert q.total_gets == 5
+        assert got == list(range(5))
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=40))
+    def test_all_items_delivered_in_order(self, capacity, n_items):
+        sim = Simulator()
+        q = BoundedQueue(sim, capacity=capacity)
+        got = []
+        for i in range(n_items):
+            q.put(i, lambda: None)
+        for _ in range(n_items):
+            q.get(got.append)
+        sim.run()
+        assert got == list(range(n_items))

@@ -1,0 +1,241 @@
+"""Tests for the systolic-array cycle/traffic model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.systolic import (
+    GraphMapper,
+    ScratchpadHierarchy,
+    ScratchpadLevel,
+    SystolicArray,
+    SystolicConfig,
+)
+from repro.systolic.array import best_aspect_ratio
+from repro.workloads import ALL_APPS, get_app
+
+
+def os_array(rows=16, cols=64, **kw):
+    return SystolicArray(SystolicConfig(rows=rows, cols=cols, dataflow="OS", **kw))
+
+
+def ws_array(rows=4, cols=32, **kw):
+    return SystolicArray(
+        SystolicConfig(rows=rows, cols=cols, dataflow="WS", frequency_hz=400e6, **kw)
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystolicConfig(rows=0, cols=4)
+        with pytest.raises(ValueError):
+            SystolicConfig(rows=4, cols=4, dataflow="XX")
+        with pytest.raises(ValueError):
+            SystolicConfig(rows=4, cols=4, frequency_hz=0)
+
+    def test_derived(self):
+        cfg = SystolicConfig(rows=16, cols=64, frequency_hz=800e6)
+        assert cfg.num_pes == 1024
+        assert cfg.seconds(800e6) == pytest.approx(1.0)
+
+
+class TestOsGemm:
+    def test_large_gemm_near_ideal(self):
+        arr = os_array()
+        m, n, k = 1024, 1024, 1024
+        cycles = arr.gemm_cycles(m, n, k)
+        ideal = m * n * k / arr.config.num_pes
+        assert ideal <= cycles <= 1.5 * ideal
+
+    def test_single_feature_uses_fold_cap(self):
+        arr = os_array(rows=16, cols=64)
+        # m=1, fold capped at 4: k_eff = ceil(k/4)
+        cycles = arr.gemm_cycles(1, 64, 400)
+        assert cycles == pytest.approx(math.ceil(400 / 4) + 4 + 64 - 2 + 1)
+
+    def test_fold_never_exceeds_cap(self):
+        small = os_array(rows=64, cols=16).gemm_cycles(1, 16, 1024)
+        # even with 64 idle rows, fold stays at max_fold=4
+        assert small >= 1024 / 4
+
+    def test_tiles_multiply(self):
+        arr = os_array(rows=16, cols=64)
+        one = arr.gemm_cycles(16, 64, 100)
+        four = arr.gemm_cycles(32, 128, 100)
+        assert four == pytest.approx(4 * one)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            os_array().gemm_cycles(0, 4, 4)
+
+    @given(
+        st.integers(1, 512), st.integers(1, 512), st.integers(1, 2048),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cycles_lower_bounded_by_work(self, m, n, k):
+        arr = os_array()
+        cycles = arr.gemm_cycles(m, n, k)
+        # can never beat perfect PE utilization (folding included, the
+        # MACs still all execute)
+        assert cycles * arr.config.num_pes >= m * n * k / 4
+
+
+class TestWsGemm:
+    def test_stream_batch_amortizes_loads(self):
+        small = ws_array(ws_stream_batch=2).gemm_cycles(256, 64, 64)
+        large = ws_array(ws_stream_batch=32).gemm_cycles(256, 64, 64)
+        assert large < small
+
+    def test_ws_slower_than_os_for_single_feature(self):
+        # the chip-level accelerator is compute-limited (paper §6.2)
+        ws = ws_array().gemm_cycles(1, 200, 200)
+        os_ = os_array(rows=4, cols=32).gemm_cycles(1, 200, 200)
+        assert ws > os_
+
+
+class TestElementwise:
+    def test_row_parallel_throughput(self):
+        arr = os_array(rows=16, cols=64)
+        assert arr.elementwise_cycles(1600) == 100 + 2
+
+    def test_speedup_scales_with_rows(self):
+        few = os_array(rows=4, cols=64).elementwise_cycles(4096)
+        many = os_array(rows=32, cols=64).elementwise_cycles(4096)
+        assert few / many == pytest.approx(8, rel=0.05)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            os_array().elementwise_cycles(0)
+
+
+class TestAccessCounts:
+    def test_os_weight_reuse_over_m_tiles(self):
+        arr = os_array(rows=16, cols=64)
+        acc = arr.gemm_accesses(32, 64, 100)
+        # weights read once per M-tile (2 tiles)
+        assert acc.sram_reads >= 100 * 64 * 2
+        assert acc.sram_writes == 32 * 64
+
+    def test_elementwise_counts(self):
+        acc = os_array().elementwise_accesses(100)
+        assert acc.sram_reads == 200
+        assert acc.sram_writes == 100
+
+
+class TestAspectRatioSearch:
+    def test_returns_exact_pe_count(self):
+        cfg, _ = best_aspect_ratio(1024, 1024, 16, 99)
+        assert cfg.num_pes == 1024
+
+    def test_fc_prefers_wide_arrays(self):
+        cfg, _ = best_aspect_ratio(512, 1, 512, 512)
+        assert cfg.cols >= cfg.rows
+
+    def test_conv_prefers_tall_arrays(self):
+        cfg, _ = best_aspect_ratio(1024, 1024, 16, 99)
+        assert cfg.rows >= cfg.cols
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            best_aspect_ratio(0, 1, 1, 1)
+
+
+class TestScratchpadHierarchy:
+    def make(self, l1_kb=512, with_l2=True):
+        l1 = ScratchpadLevel("l1", l1_kb * 1024, 1e12)
+        l2 = ScratchpadLevel("l2", 8 * 1024 * 1024, 20e9) if with_l2 else None
+        dram = ScratchpadLevel("dram", 4 * 1024**3, 20e9)
+        return ScratchpadHierarchy(l1, l2=l2, dram=dram)
+
+    def test_reserve_capped(self):
+        h = self.make(l1_kb=8192, with_l2=False)
+        assert h.activation_reserve_bytes == 128 * 1024
+
+    def test_small_l1_proportional_reserve(self):
+        h = self.make(l1_kb=256, with_l2=False)
+        assert h.activation_reserve_bytes == 64 * 1024
+
+    def test_per_layer_residency(self):
+        h = self.make()
+        plans = h.plan_weights([("big", 10 * 1024 * 1024), ("small", 1024)])
+        assert not plans[0].resident
+        assert plans[1].resident
+
+    def test_layer_fitting_l2_is_resident(self):
+        # the ESTP/ReId distinction: 8.2 MB fits the shared 8 MB L2 path,
+        # 10 MB does not
+        h = self.make()
+        plans = h.plan_weights([("estp_fc1", int(8.2 * 1024 * 1024))])
+        assert plans[0].resident
+        plans = h.plan_weights([("reid_fc1", int(10.1 * 1024 * 1024))])
+        assert not plans[0].resident
+
+    def test_stream_level_is_dram(self):
+        h = self.make()
+        plans = h.plan_weights([("big", 20 * 1024 * 1024)])
+        assert plans[0].stream_level.name == "dram"
+        assert plans[0].stream_bandwidth == pytest.approx(20e9)
+
+    def test_no_backing_level_raises(self):
+        h = ScratchpadHierarchy(ScratchpadLevel("l1", 1024, 1e9))
+        with pytest.raises(ValueError):
+            h.plan_weights([("big", 10 * 1024 * 1024)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScratchpadLevel("x", 0, 1e9)
+
+
+class TestGraphMapper:
+    def make_mapper(self, **kw):
+        # channel-level-like hierarchy: 512 KB L1 + shared 8 MB L2 + DRAM
+        l1 = ScratchpadLevel("l1", 512 * 1024, 1e12)
+        l2 = ScratchpadLevel("l2", 8 * 1024 * 1024, 20e9)
+        dram = ScratchpadLevel("dram", 4 * 1024**3, 20e9)
+        return GraphMapper(
+            os_array(), ScratchpadHierarchy(l1, l2=l2, dram=dram), **kw
+        )
+
+    @pytest.mark.parametrize("name", list(ALL_APPS))
+    def test_profiles_every_app(self, name):
+        profile = self.make_mapper().map_graph(get_app(name).build_scn())
+        assert profile.seconds_per_feature > 0
+        assert profile.macs_per_feature > 0
+        assert 0 < profile.utilization(1024, 800e6) <= 1.0
+
+    def test_compute_time_tracks_flops(self):
+        mapper = self.make_mapper()
+        times = {
+            name: mapper.map_graph(get_app(name).build_scn()).compute_seconds_per_feature
+            for name in ("textqa", "mir", "reid")
+        }
+        assert times["textqa"] < times["mir"] < times["reid"]
+
+    def test_weight_stream_bound_for_reid(self):
+        profile = self.make_mapper().map_graph(get_app("reid").build_scn())
+        assert profile.bound == "weight-stream"
+        assert profile.dram_weight_words_per_feature > 0
+
+    def test_resident_apps_have_no_dram_stream(self):
+        profile = self.make_mapper().map_graph(get_app("tir").build_scn())
+        assert profile.bound == "compute"
+        assert profile.dram_weight_words_per_feature == 0
+
+    def test_stream_window_amortizes(self):
+        p1 = self.make_mapper(stream_window=1).map_graph(get_app("reid").build_scn())
+        p8 = self.make_mapper(stream_window=8).map_graph(get_app("reid").build_scn())
+        assert p8.seconds_per_feature < p1.seconds_per_feature
+
+    def test_setup_time_scales_with_resident_weights(self):
+        mapper = self.make_mapper()
+        small = mapper.map_graph(get_app("textqa").build_scn())
+        big = mapper.map_graph(get_app("tir").build_scn())
+        assert big.query_setup_seconds > small.query_setup_seconds > 0
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            self.make_mapper(dfv_batch=0)
+        with pytest.raises(ValueError):
+            self.make_mapper(stream_window=0)

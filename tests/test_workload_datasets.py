@@ -1,0 +1,93 @@
+"""Tests for the synthetic dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import get_app
+from repro.workloads.datasets import (
+    DATASET_BUILDERS,
+    SyntheticDataset,
+    make_dataset,
+)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", list(DATASET_BUILDERS))
+    def test_shapes_match_app(self, name):
+        ds = make_dataset(name, seed=1)
+        app = get_app(name)
+        assert ds.features.shape[1] == app.feature_floats
+        assert ds.queries.shape[1] == app.feature_floats
+        assert len(ds.labels) == len(ds.features)
+        assert len(ds.query_labels) == len(ds.queries)
+        assert ds.features.dtype == np.float32
+
+    @pytest.mark.parametrize("name", list(DATASET_BUILDERS))
+    def test_deterministic(self, name):
+        a = make_dataset(name, seed=3)
+        b = make_dataset(name, seed=3)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            make_dataset("imagenet")
+
+    def test_every_entity_has_views(self):
+        ds = make_dataset("reid", seed=2)
+        counts = np.bincount(ds.labels)
+        assert counts.min() >= 1
+        assert len(counts) == ds.n_entities
+
+
+class TestRetrievalStructure:
+    def test_queries_are_closest_to_their_entity(self):
+        # nearest-gallery-neighbor of a query should usually share its
+        # label, despite the domain shift
+        ds = make_dataset("tir", seed=4)
+        hits = 0
+        for i in range(40):
+            q = ds.queries[i]
+            dist = np.linalg.norm(ds.features - q, axis=1)
+            nearest = int(np.argmin(dist))
+            hits += int(ds.labels[nearest] == ds.query_labels[i])
+        assert hits / 40 > 0.7
+
+    def test_domain_shift_hurts_raw_distance(self):
+        # the street2shop gap is the largest; raw-nearest accuracy there
+        # should trail the milder TIR gap
+        def accuracy(name, n=40):
+            ds = make_dataset(name, seed=5)
+            hits = 0
+            for i in range(n):
+                dist = np.linalg.norm(ds.features - ds.queries[i], axis=1)
+                hits += int(ds.labels[int(np.argmin(dist))] == ds.query_labels[i])
+            return hits / n
+
+        assert accuracy("estp") <= accuracy("tir") + 0.1
+
+    def test_positives_and_recall(self):
+        ds = make_dataset("textqa", seed=6)
+        positives = ds.positives_of(0)
+        assert len(positives) >= 1
+        assert ds.recall_at_k(0, positives) == 1.0
+        assert ds.recall_at_k(0, np.array([], dtype=np.int64)) == 0.0
+
+    def test_end_to_end_retrieval_with_trained_scn(self):
+        from repro import DeepStoreDevice
+        from repro.workloads import train_scn
+
+        app = get_app("textqa")
+        graph = train_scn(app, seed=0)
+        ds = make_dataset("textqa", seed=7, n_questions=60,
+                          answers_per_question=6)
+        device = DeepStoreDevice()
+        db = device.write_db(ds.features)
+        model = device.load_graph(graph)
+        recalls = []
+        for i in range(10):
+            result = device.get_results(
+                device.query(ds.queries[i], k=10, model_id=model, db_id=db)
+            )
+            recalls.append(ds.recall_at_k(i, result.feature_ids))
+        assert float(np.mean(recalls)) > 0.5
