@@ -7,6 +7,11 @@ from repro.analysis.metrics import (
     evaluate_level,
     speedup,
 )
+from repro.analysis.reliability import (
+    ReliabilityReport,
+    percentile,
+    run_reliability_trial,
+)
 from repro.analysis.reporting import Table, format_seconds, format_si
 
 __all__ = [
@@ -15,6 +20,9 @@ __all__ = [
     "evaluate_level",
     "compare_levels",
     "EvaluationCell",
+    "ReliabilityReport",
+    "percentile",
+    "run_reliability_trial",
     "Table",
     "format_si",
     "format_seconds",

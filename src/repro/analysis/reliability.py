@@ -1,0 +1,232 @@
+"""Reliability reporting for fault-injection runs.
+
+Runs a batch of whole-device event-driven queries under a
+:class:`~repro.faults.FaultPlan` and condenses the outcome into a
+:class:`ReliabilityReport`: retry/CRC counters, latency percentiles and
+their inflation over the fault-free baseline, availability (fraction of
+database pages actually scanned), and the degraded-mode slowdown when
+accelerators are hard-failed.  Everything is deterministic in
+``(seed, plan)`` — two runs of :func:`run_reliability_trial` with the
+same arguments produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_seconds
+from repro.core.engine import DispatchPolicy
+from repro.core.event_query import EventQuerySimulator
+from repro.faults import FaultInjector, FaultPlan
+from repro.nn.graph import Graph
+from repro.ssd.ftl import DatabaseMetadata
+from repro.ssd.timing import SsdConfig
+from repro.workloads.apps import AppSpec
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Deterministic nearest-rank percentile (no interpolation).
+
+    Nearest-rank keeps reports reproducible across numpy versions and
+    always returns an actually-observed latency, which is what a tail
+    SLO refers to.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 < q <= 100.0:
+        raise ValueError("q must be in (0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class ReliabilityReport:
+    """Condensed outcome of one fault-injection trial.
+
+    ``healthy_seconds`` is the fault-free baseline latency of the same
+    query on the same database; every inflation/slowdown figure is
+    relative to it.
+    """
+
+    plan: FaultPlan
+    seed: int
+    queries: int
+    healthy_seconds: float
+    latencies_s: Tuple[float, ...]
+    availabilities: Tuple[float, ...]
+    counters: Dict[str, int] = field(default_factory=dict)
+    failed_channels: Tuple[int, ...] = ()
+    remapped_pages: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_seconds(self) -> float:
+        """Mean query latency under injection."""
+        return sum(self.latencies_s) / len(self.latencies_s)
+
+    @property
+    def p50_seconds(self) -> float:
+        """Median (nearest-rank) query latency under injection."""
+        return percentile(self.latencies_s, 50.0)
+
+    @property
+    def p99_seconds(self) -> float:
+        """99th-percentile (nearest-rank) query latency under injection."""
+        return percentile(self.latencies_s, 99.0)
+
+    @property
+    def p50_inflation(self) -> float:
+        """p50 latency relative to the fault-free baseline (1.0 = none)."""
+        return self.p50_seconds / self.healthy_seconds
+
+    @property
+    def p99_inflation(self) -> float:
+        """p99 latency relative to the fault-free baseline (1.0 = none)."""
+        return self.p99_seconds / self.healthy_seconds
+
+    @property
+    def slowdown(self) -> float:
+        """Mean latency relative to the fault-free baseline."""
+        return self.mean_seconds / self.healthy_seconds
+
+    @property
+    def availability(self) -> float:
+        """Worst-case fraction of database pages delivered to compute."""
+        return min(self.availabilities)
+
+    @property
+    def mean_availability(self) -> float:
+        """Mean fraction of database pages delivered across queries."""
+        return sum(self.availabilities) / len(self.availabilities)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of the report."""
+        return {
+            "plan": self.plan.describe(),
+            "seed": self.seed,
+            "queries": self.queries,
+            "healthy_seconds": self.healthy_seconds,
+            "mean_seconds": self.mean_seconds,
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+            "p50_inflation": self.p50_inflation,
+            "p99_inflation": self.p99_inflation,
+            "slowdown": self.slowdown,
+            "availability": self.availability,
+            "mean_availability": self.mean_availability,
+            "failed_channels": list(self.failed_channels),
+            "remapped_pages": self.remapped_pages,
+            "counters": dict(self.counters),
+        }
+
+    def to_json(self) -> str:
+        """Render the report as pretty-printed JSON."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """Render the report as human-readable text."""
+        c = self.counters
+        lines = [
+            f"== Reliability report ({self.queries} queries, seed {self.seed}) ==",
+            f"plan            {self.plan.describe()}",
+            f"healthy         {format_seconds(self.healthy_seconds)}",
+            f"mean            {format_seconds(self.mean_seconds)} "
+            f"({self.slowdown:.3f}x)",
+            f"p50 / p99       {format_seconds(self.p50_seconds)} / "
+            f"{format_seconds(self.p99_seconds)} "
+            f"({self.p50_inflation:.3f}x / {self.p99_inflation:.3f}x)",
+            f"availability    {self.availability * 100:.4f}% worst, "
+            f"{self.mean_availability * 100:.4f}% mean",
+        ]
+        if self.failed_channels:
+            lines.append(
+                f"failed accels   {list(self.failed_channels)} "
+                f"({self.remapped_pages} pages remapped to survivors)"
+            )
+        if c:
+            lines.append(
+                f"read retries    {c.get('pages_with_retry', 0)} pages / "
+                f"{c.get('retry_passes', 0)} extra passes "
+                f"({c.get('page_reads', 0)} reads)"
+            )
+            lines.append(
+                f"CRC errors      {c.get('transfers_with_crc_error', 0)} "
+                f"transfers / {c.get('crc_retransfers', 0)} re-transfers"
+            )
+            lines.append(
+                f"failed reads    {c.get('failed_reads', 0)} "
+                f"(dead chips/planes)"
+            )
+        return "\n".join(lines)
+
+
+def run_reliability_trial(
+    app: AppSpec,
+    meta: DatabaseMetadata,
+    plan: FaultPlan,
+    queries: int = 5,
+    seed: int = 0,
+    ssd: Optional[SsdConfig] = None,
+    graph: Optional[Graph] = None,
+    policy: Optional[DispatchPolicy] = None,
+    max_pages_per_channel: Optional[int] = None,
+) -> ReliabilityReport:
+    """Run ``queries`` event-driven queries under ``plan`` and report.
+
+    The fault-free baseline runs first with no injector, so a zero plan
+    reports exactly 1.0x inflation by construction.  Each injected query
+    advances the injector epoch, modelling independent trials on a
+    database whose marginal pages stay marginal within a query but are
+    re-drawn between queries.
+    """
+    if queries <= 0:
+        raise ValueError("queries must be positive")
+    graph = graph or app.build_scn()
+    simulator = EventQuerySimulator(ssd=ssd)
+    healthy = simulator.run(
+        app, meta, graph=graph, max_pages_per_channel=max_pages_per_channel
+    )
+    injector: Optional[FaultInjector] = None
+    if not plan.is_zero:
+        injector = FaultInjector(plan=plan, seed=seed)
+
+    latencies: List[float] = []
+    availabilities: List[float] = []
+    failed_channels: Tuple[int, ...] = ()
+    remapped_pages = 0
+    if injector is None:
+        # a zero plan cannot perturb anything: every query is the baseline
+        latencies = [healthy.total_seconds] * queries
+        availabilities = [1.0] * queries
+    else:
+        for q in range(queries):
+            injector.begin_epoch(q)
+            result = simulator.run(
+                app,
+                meta,
+                graph=graph,
+                max_pages_per_channel=max_pages_per_channel,
+                injector=injector,
+                policy=policy,
+            )
+            latencies.append(result.total_seconds)
+            availabilities.append(result.availability)
+            failed_channels = tuple(result.failed_channels)
+            remapped_pages = result.remapped_pages
+
+    return ReliabilityReport(
+        plan=plan,
+        seed=seed,
+        queries=queries,
+        healthy_seconds=healthy.total_seconds,
+        latencies_s=tuple(latencies),
+        availabilities=tuple(availabilities),
+        counters=injector.counts.as_dict() if injector is not None else {},
+        failed_channels=failed_channels,
+        remapped_pages=remapped_pages,
+    )

@@ -9,6 +9,7 @@ Small, self-contained runners over the library for the common questions:
 ``speedup``    per-app, per-level speedup & energy efficiency (Table 4)
 ``dse``        PE scaling curves (Fig. 6)
 ``cache``      a query-cache simulation (Fig. 13-style point)
+``faults``     fault-injected queries and a reliability report
 ``demo``       a real end-to-end query with planted neighbors
 =============  ==========================================================
 """
@@ -198,6 +199,47 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     return 0 if card.structural_ok else 1
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Run fault-injected queries and print a reliability report.
+
+    Deterministic in ``--seed`` and the plan flags: re-running the same
+    command reproduces the report byte for byte.
+    """
+    from repro.analysis.reliability import run_reliability_trial
+    from repro.faults import FaultPlan
+    from repro.ssd import Ssd
+    from repro.workloads import get_app
+
+    app = get_app(args.app)
+    ssd = Ssd()
+    try:
+        meta = ssd.ftl.create_database(app.feature_bytes, args.features)
+        plan = FaultPlan(
+            read_retry_rate=args.retry_rate,
+            crc_error_rate=args.crc_rate,
+            chip_failure_rate=args.chip_rate,
+        )
+        if args.fail_accels:
+            for token in args.fail_accels.split(","):
+                plan = plan.fail_accelerator(int(token.strip()))
+        report = run_reliability_trial(
+            app,
+            meta,
+            plan,
+            queries=args.queries,
+            seed=args.seed,
+            max_pages_per_channel=args.max_pages,
+        )
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import DeepStoreDevice
     from repro.analysis import format_seconds
@@ -265,6 +307,27 @@ def build_parser() -> argparse.ArgumentParser:
     scorecard.add_argument("--gigabytes", type=float, default=25.0)
     scorecard.add_argument("--json", action="store_true")
 
+    faults = sub.add_parser(
+        "faults", help="fault-injected queries + reliability report"
+    )
+    faults.add_argument("--app", default="tir",
+                        choices=["reid", "mir", "estp", "tir", "textqa"])
+    faults.add_argument("--features", type=int, default=20_000,
+                        help="database size in feature vectors")
+    faults.add_argument("--queries", type=int, default=5)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--retry-rate", type=float, default=0.02,
+                        help="NAND page read-retry probability")
+    faults.add_argument("--crc-rate", type=float, default=0.0,
+                        help="channel-bus CRC error probability")
+    faults.add_argument("--chip-rate", type=float, default=0.0,
+                        help="ambient chip hard-failure probability")
+    faults.add_argument("--fail-accels", default="",
+                        help="comma-separated accelerator indices to kill")
+    faults.add_argument("--max-pages", type=int, default=None,
+                        help="cap pages scanned per channel")
+    faults.add_argument("--json", action="store_true")
+
     demo = sub.add_parser("demo", help="end-to-end functional query")
     demo.add_argument("--app", default="tir",
                       choices=["reid", "mir", "estp", "tir", "textqa"])
@@ -284,6 +347,7 @@ COMMANDS = {
     "cache": _cmd_cache,
     "plan": _cmd_plan,
     "scorecard": _cmd_scorecard,
+    "faults": _cmd_faults,
     "demo": _cmd_demo,
 }
 

@@ -14,7 +14,10 @@ SCN graph and SSD configuration, exposing:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 
 from repro.core.placement import AcceleratorPlacement
 from repro.core.topk import TopKSorter
@@ -35,10 +38,19 @@ class StripeScanResult:
     features: float
     pages: int
     seconds: float
+    #: pages lost to hard-failed chips/planes (fault injection only)
+    pages_failed: int = 0
 
     @property
     def seconds_per_feature(self) -> float:
         return self.seconds / self.features if self.features > 0 else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the stripe's pages actually delivered."""
+        if self.pages == 0:
+            return 1.0
+        return (self.pages - self.pages_failed) / self.pages
 
 
 class InStorageAccelerator:
@@ -152,19 +164,23 @@ class InStorageAccelerator:
         channel: int = 0,
         max_pages: int = 256,
         queue_depth: int = 8,
+        injector: Optional["FaultInjector"] = None,
     ) -> StripeScanResult:
         """Scan a window of this channel's stripe with full event timing.
 
         The flash controller prefetches pages into a bounded FLASH_DFV
         queue while the systolic model consumes them — a full queue
         stalls prefetch (compute-bound), an empty queue stalls compute
-        (flash-bound), exactly as in hardware.
+        (flash-bound), exactly as in hardware.  With ``injector`` set,
+        NAND read-retries and bus CRC re-transfers stretch the event
+        timeline and dead chips drop their pages (counted in the
+        result); without one the timing is bit-identical to before.
         """
         if self.placement.level != "channel":
             raise ValueError("stripe scans model channel-level accelerators")
         sim = Simulator()
         controller = ChannelController(
-            sim, self.ssd.geometry, self.ssd.timing, channel
+            sim, self.ssd.geometry, self.ssd.timing, channel, injector=injector
         )
         queue = BoundedQueue(sim, queue_depth, name="FLASH_DFV")
         trace = list(
@@ -175,6 +191,11 @@ class InStorageAccelerator:
 
         cursor = {"next": 0}
         done = {"pages": 0}
+        failed = {"pages": 0}
+
+        def page_failed(_addr) -> None:
+            failed["pages"] += 1
+            issue_next()
 
         def issue_next() -> None:
             i = cursor["next"]
@@ -184,6 +205,7 @@ class InStorageAccelerator:
             controller.read_page(
                 trace[i].address,
                 lambda addr: queue.put(addr, issue_next),
+                on_failed=page_failed,
             )
 
         # Per page, the accelerator computes over the features it holds.
@@ -204,7 +226,7 @@ class InStorageAccelerator:
 
             def finished() -> None:
                 done["pages"] += 1
-                if done["pages"] < len(trace):
+                if done["pages"] + failed["pages"] < len(trace):
                     consume()
 
             queue.get(got)
@@ -212,9 +234,12 @@ class InStorageAccelerator:
         for _ in range(min(queue_depth, len(trace))):
             issue_next()
         consume()
-        sim.run(stop_when=lambda: done["pages"] >= len(trace))
+        sim.run(
+            stop_when=lambda: done["pages"] + failed["pages"] >= len(trace)
+        )
         return StripeScanResult(
-            features=features_per_page * len(trace),
+            features=features_per_page * done["pages"],
             pages=len(trace),
             seconds=sim.now,
+            pages_failed=failed["pages"],
         )

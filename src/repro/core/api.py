@@ -100,7 +100,32 @@ class DeepStoreDevice:
         self._cache: Optional[QueryCache] = None
         self._cache_lookup_seconds_per_entry = 0.0
         self._ingest_seconds: Dict[int, float] = {}
+        self._failed_accels: set = set()
         self.seed = seed
+
+    # ------------------------------------------------------------------
+    # reliability controls
+    # ------------------------------------------------------------------
+    def fail_accelerator(self, index: int) -> None:
+        """Hard-fail one accelerator of the device's placement level.
+
+        Subsequent queries run in degraded mode: the dead accelerator's
+        stripe is remapped onto the survivors, so results are unchanged
+        but the modelled latency reflects the detection timeouts and
+        the survivors' extra load.
+        """
+        if index < 0:
+            raise DeepStoreApiError("accelerator index cannot be negative")
+        self._failed_accels.add(index)
+
+    def repair_accelerator(self, index: int) -> None:
+        """Bring a previously failed accelerator back into service."""
+        self._failed_accels.discard(index)
+
+    @property
+    def failed_accelerators(self) -> frozenset:
+        """Indices of currently hard-failed accelerators."""
+        return frozenset(self._failed_accels)
 
     # ------------------------------------------------------------------
     # database management (writeDB / appendDB / readDB)
@@ -260,9 +285,25 @@ class DeepStoreDevice:
         # full scan (the map-reduce path)
         ids, scores = self._scan(graph, qfv, store, db_start, db_end, k)
         sliced = self._sliced_meta(meta, db_end - db_start)
-        latency = system.latency_for(
-            graph, sliced, feature_bytes=meta.feature_bytes, name=graph.name
-        )
+        if self._failed_accels:
+            # degraded mode: same results, honest (slower) cost model
+            count = system.placement.count(system.ssd)
+            bad = {i for i in self._failed_accels if i < count}
+            if len(bad) >= count:
+                raise DeepStoreApiError(
+                    "all accelerators failed; no degraded mode possible"
+                )
+            latency = system.degraded_latency_for(
+                graph,
+                sliced,
+                feature_bytes=meta.feature_bytes,
+                failed_accels=bad,
+                name=graph.name,
+            ).degraded
+        else:
+            latency = system.latency_for(
+                graph, sliced, feature_bytes=meta.feature_bytes, name=graph.name
+            )
         if self._cache is not None:
             self._cache.insert(qfv, scores, ids)
             lookup_cost = len(self._cache) * self._cache_lookup_seconds_per_entry

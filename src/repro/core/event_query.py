@@ -10,15 +10,26 @@ per channel, with the query engine's merge as the closing barrier.
 It is O(total pages), so it is used on scaled-down databases (tests) or
 windows — but unlike the per-channel window probe it captures cross-
 channel skew: the query finishes when the *slowest* stripe finishes.
+
+With a :class:`~repro.faults.FaultInjector`, this is also the degraded-
+mode execution path: NAND read-retries and CRC re-transfers stretch the
+event timeline, dead chips drop their pages, and a dead channel-level
+accelerator's stripe is remapped round-robin onto the surviving
+channels' accelerators — the pages still stream off the dead channel's
+(healthy) bus, but a survivor pays the compute, so the query completes
+correctly at degraded speed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.accelerator import InStorageAccelerator
-from repro.core.engine import QueryEngine
+from repro.core.engine import DispatchPolicy, QueryEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 from repro.core.placement import AcceleratorPlacement, CHANNEL_LEVEL
 from repro.nn.graph import Graph
 from repro.sim import BoundedQueue, Simulator
@@ -37,6 +48,12 @@ class EventQueryResult:
     scan_seconds: float
     per_channel_seconds: List[float]
     pages: int
+    #: pages lost to hard-failed chips/planes (fault injection only)
+    pages_failed: int = 0
+    #: channels whose accelerator was dead and remapped away
+    failed_channels: List[int] = field(default_factory=list)
+    #: pages a surviving channel scanned on a dead channel's behalf
+    remapped_pages: int = 0
 
     @property
     def channel_skew(self) -> float:
@@ -45,6 +62,13 @@ class EventQueryResult:
         if not finite:
             return 1.0
         return max(finite) / min(finite)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the database's pages actually scanned."""
+        if self.pages == 0:
+            return 1.0
+        return (self.pages - self.pages_failed) / self.pages
 
 
 class EventQuerySimulator:
@@ -70,8 +94,18 @@ class EventQuerySimulator:
         meta: DatabaseMetadata,
         graph: Optional[Graph] = None,
         max_pages_per_channel: Optional[int] = None,
+        injector: Optional["FaultInjector"] = None,
+        policy: Optional[DispatchPolicy] = None,
     ) -> EventQueryResult:
-        """Simulate one query over every channel; returns measured times."""
+        """Simulate one query over every channel; returns measured times.
+
+        With ``injector`` set, faults perturb the event timeline (read
+        retries, CRC re-transfers, lost pages on dead chips) and dead
+        channel accelerators are detected via ``policy`` timeouts and
+        remapped: their stripe's pages are adopted round-robin by
+        surviving channels' accelerators.  Without an injector the
+        execution is bit-identical to the fault-free path.
+        """
         graph = graph or app.build_scn()
         accel = InStorageAccelerator(self.placement, self.ssd, graph)
         geo = self.ssd.geometry
@@ -94,25 +128,79 @@ class EventQuerySimulator:
             for ch in range(geo.channels)
         }
         total_pages = sum(len(t) for t in traces.values())
+
+        # a dead channel accelerator loses its compute, not its data:
+        # its stripe's pages still stream off its (healthy) bus but are
+        # consumed by surviving channels' accelerators, round-robin
+        failed_channels: List[int] = []
+        remapped_pages = 0
+        if injector is not None and injector.plan.injects_hard_failures:
+            failed_channels = sorted(
+                ch
+                for ch in range(geo.channels)
+                if injector.accelerator_dead(ch, 0.0)
+            )
+            survivors = [
+                ch for ch in range(geo.channels) if ch not in failed_channels
+            ]
+            if not survivors:
+                raise RuntimeError(
+                    "all channel accelerators failed; no degraded mode"
+                )
+            orphaned = [
+                access for ch in failed_channels for access in traces[ch]
+            ]
+            remapped_pages = len(orphaned)
+            for ch in failed_channels:
+                traces[ch] = []
+            for j, access in enumerate(orphaned):
+                traces[survivors[j % len(survivors)]].append(access)
+
         remaining_channels = {"n": sum(1 for t in traces.values() if t)}
+        failed_pages = {"n": 0}
+        controllers: Dict[int, ChannelController] = {}
+
+        def controller_for(channel: int) -> ChannelController:
+            controller = controllers.get(channel)
+            if controller is None:
+                controller = ChannelController(
+                    sim, geo, self.ssd.timing, channel, injector=injector
+                )
+                controllers[channel] = controller
+            return controller
 
         def start_channel(ch: int, trace: list) -> None:
             """Per-channel closures, bound via this factory (a plain loop
             body would late-bind the recursive `consume` reference to the
             last iteration's function)."""
-            controller = ChannelController(sim, geo, self.ssd.timing, ch)
             queue = BoundedQueue(sim, self.queue_depth, name=f"dfv-{ch}")
             cursor = {"next": 0}
             done = {"pages": 0}
+            failed = {"pages": 0}
+
+            def channel_finished() -> None:
+                per_channel_done[ch] = sim.now
+                remaining_channels["n"] -= 1
+
+            def page_failed(_addr) -> None:
+                failed["pages"] += 1
+                failed_pages["n"] += 1
+                if done["pages"] + failed["pages"] >= len(trace):
+                    channel_finished()
+                else:
+                    issue_next()
 
             def issue_next() -> None:
                 i = cursor["next"]
                 if i >= len(trace):
                     return
                 cursor["next"] = i + 1
-                controller.read_page(
+                # remapped pages are read through the bus of the channel
+                # that stores them, not the consuming accelerator's
+                controller_for(trace[i].address.channel).read_page(
                     trace[i].address,
                     lambda addr: queue.put(addr, issue_next),
+                    on_failed=page_failed,
                 )
 
             def consume() -> None:
@@ -121,11 +209,10 @@ class EventQuerySimulator:
 
                 def finished() -> None:
                     done["pages"] += 1
-                    if done["pages"] < len(trace):
+                    if done["pages"] + failed["pages"] < len(trace):
                         consume()
                     else:
-                        per_channel_done[ch] = sim.now
-                        remaining_channels["n"] -= 1
+                        channel_finished()
 
                 queue.get(got)
 
@@ -141,17 +228,31 @@ class EventQuerySimulator:
 
         sim.run(stop_when=lambda: remaining_channels["n"] <= 0)
         scan_seconds = sim.now
-        overhead = (
-            engine.dispatch_seconds(geo.channels)
-            + engine.merge_seconds(geo.channels, 10)
-            + accel.query_setup_seconds()
-        )
+        if failed_channels:
+            policy = policy or DispatchPolicy()
+            survivors_n = geo.channels - len(failed_channels)
+            overhead = (
+                engine.degraded_dispatch_seconds(
+                    geo.channels, len(failed_channels), policy
+                )
+                + engine.merge_seconds(survivors_n, 10)
+                + accel.query_setup_seconds()
+            )
+        else:
+            overhead = (
+                engine.dispatch_seconds(geo.channels)
+                + engine.merge_seconds(geo.channels, 10)
+                + accel.query_setup_seconds()
+            )
         return EventQueryResult(
             total_seconds=scan_seconds + overhead,
             scan_seconds=scan_seconds,
             per_channel_seconds=[per_channel_done.get(ch, 0.0)
                                  for ch in range(geo.channels)],
             pages=total_pages,
+            pages_failed=failed_pages["n"],
+            failed_channels=failed_channels,
+            remapped_pages=remapped_pages,
         )
 
 

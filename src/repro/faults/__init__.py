@@ -1,0 +1,34 @@
+"""Fault injection and reliability modeling for the DeepStore stack.
+
+Every figure the repository reproduces assumes flawless hardware: flash
+pages decode on the first array read, channel transfers never see a CRC
+error, and no chip, plane, or accelerator ever dies.  At production
+scale those events are the steady state, not the exception, so this
+package adds a deterministic fault layer that the SSD and accelerator
+models consult on every operation:
+
+* :class:`FaultPlan` — a declarative, hashable description of what can
+  go wrong: NAND read-retry (ECC escalation) rates, channel-bus CRC
+  error rates, and hard failures of chips, planes, and accelerators at
+  configured times or ambient rates.
+* :class:`FaultInjector` — the runtime object bound to one plan and one
+  seed.  Every draw is a pure function of ``(seed, site, occurrence)``,
+  so injection is bit-identical across runs and independent of event
+  interleaving; a zero-fault plan short-circuits to the no-injector
+  fast path and perturbs nothing.
+
+The injector plugs into :mod:`repro.ssd.flash` (plane re-arm for retry
+passes), :mod:`repro.ssd.controller` (bus re-transfer on CRC error,
+failed reads on dead chips), and :mod:`repro.core.event_query`
+(accelerator failures with degraded-mode stripe remapping).
+"""
+
+from repro.faults.injector import FaultInjector, ReliabilityCounters
+from repro.faults.plan import ComponentFailure, FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "ComponentFailure",
+    "FaultInjector",
+    "ReliabilityCounters",
+]

@@ -1,0 +1,278 @@
+"""Deterministic runtime fault injection.
+
+The injector answers the same questions real reliability hardware poses:
+*does this array read decode first pass?* (if not, how many ECC retry
+passes?), *does this bus transfer pass CRC?*, and *is this component
+still alive?*  Every answer is a pure function of ``(seed, epoch,
+site)`` — ``site`` being the structural coordinates of the operation
+(channel/chip/plane/block/page, or an accelerator index) — computed with
+a splitmix64-style hash.  That gives three properties the rest of the
+repo depends on:
+
+1. **Determinism** — two runs with the same seed and plan inject the
+   exact same faults, so reliability reports are bit-identical.
+2. **Order independence** — the draw for one page does not depend on
+   how events interleaved before it, so adding concurrency elsewhere
+   does not silently reshuffle the fault pattern.
+3. **Zero-cost idle** — a zero plan never draws, and the SSD hooks
+   skip the injector entirely, keeping fault-free timing bit-identical
+   to a run with no injector object at all.
+
+Within one epoch, re-reading the same page reproduces the same retry
+count — matching real NAND, where a marginal page stays marginal until
+rewritten.  Callers model independent trials (e.g. successive queries)
+by advancing the epoch via :meth:`FaultInjector.begin_epoch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.ssd.geometry import PhysicalPageAddress
+
+_MASK64 = (1 << 64) - 1
+
+# draw domains keep the hash streams for different fault classes disjoint
+_DOMAIN_READ_RETRY = 1
+_DOMAIN_CRC = 2
+_DOMAIN_CHIP_AMBIENT = 3
+_DOMAIN_ACCEL_AMBIENT = 4
+_DOMAIN_READ_RETRY_DEPTH = 5
+_DOMAIN_CRC_DEPTH = 6
+
+
+def _mix(*values: int) -> int:
+    """Splitmix64-style avalanche over a tuple of integers.
+
+    Stable across processes and Python versions (unlike ``hash`` on
+    strings) and cheap enough to call per simulated page read.
+    """
+    x = 0x9E3779B97F4A7C15
+    for v in values:
+        x = ((x ^ (v & _MASK64)) * 0xBF58476D1CE4E5B9) & _MASK64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+        x ^= x >> 31
+    return x
+
+
+def _unit(*values: int) -> float:
+    """A deterministic uniform draw in [0, 1) keyed by ``values``."""
+    return _mix(*values) / float(1 << 64)
+
+
+@dataclass
+class ReliabilityCounters:
+    """Tallies of what the injector actually did during a run."""
+
+    page_reads: int = 0
+    pages_with_retry: int = 0
+    retry_passes: int = 0
+    transfers: int = 0
+    transfers_with_crc_error: int = 0
+    crc_retransfers: int = 0
+    failed_reads: int = 0
+    dispatch_timeouts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counter snapshot for reports and tests."""
+        return {
+            "page_reads": self.page_reads,
+            "pages_with_retry": self.pages_with_retry,
+            "retry_passes": self.retry_passes,
+            "transfers": self.transfers,
+            "transfers_with_crc_error": self.transfers_with_crc_error,
+            "crc_retransfers": self.crc_retransfers,
+            "failed_reads": self.failed_reads,
+            "dispatch_timeouts": self.dispatch_timeouts,
+        }
+
+    @property
+    def observed_retry_rate(self) -> float:
+        """Fraction of page reads that needed at least one retry."""
+        if self.page_reads == 0:
+            return 0.0
+        return self.pages_with_retry / self.page_reads
+
+
+@dataclass
+class FaultInjector:
+    """A :class:`FaultPlan` bound to a seed, with runtime counters."""
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    seed: int = 0
+    counts: ReliabilityCounters = field(default_factory=ReliabilityCounters)
+
+    def __post_init__(self) -> None:
+        self._epoch = 0
+        self._dead_chips: Dict[Tuple[int, int], float] = {}
+        self._dead_planes: Dict[Tuple[int, int, int], float] = {}
+        self._dead_accels: Dict[int, float] = {}
+        for failure in self.plan.failures:
+            if failure.kind == "chip":
+                key2 = (failure.channel, failure.chip)
+                self._dead_chips[key2] = min(
+                    self._dead_chips.get(key2, failure.at_s), failure.at_s
+                )
+            elif failure.kind == "plane":
+                key3 = (failure.channel, failure.chip, failure.plane)
+                self._dead_planes[key3] = min(
+                    self._dead_planes.get(key3, failure.at_s), failure.at_s
+                )
+            else:
+                self._dead_accels[failure.index] = min(
+                    self._dead_accels.get(failure.index, failure.at_s),
+                    failure.at_s,
+                )
+
+    # ------------------------------------------------------------------
+    # epochs
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Current draw epoch (mixed into every fault-site key)."""
+        return self._epoch
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Start a new independent draw epoch (e.g. the next query)."""
+        if epoch < 0:
+            raise ValueError("epoch cannot be negative")
+        self._epoch = epoch
+
+    # ------------------------------------------------------------------
+    # soft faults (timing perturbations)
+    # ------------------------------------------------------------------
+    def page_read_retries(self, address: PhysicalPageAddress) -> int:
+        """Extra array-read passes this page read needs (0 = clean).
+
+        Models ECC read-retry escalation: with probability
+        ``read_retry_rate`` the first sense fails and the plane re-arms
+        with shifted read-reference voltages, for a uniform 1..max extra
+        passes.  Counted into :attr:`counts`.
+
+        The occurrence draw and the depth draw use independent hash
+        domains, so the set of faulting sites at a lower rate is a
+        strict subset of the set at a higher rate *with identical
+        depths on the common sites* — which is what makes fault-rate
+        sweeps (``bench_ext_fault_tolerance``) monotone per-realization
+        rather than only in expectation.
+        """
+        self.counts.page_reads += 1
+        plan = self.plan
+        if plan.read_retry_rate <= 0.0:
+            return 0
+        site = (
+            address.channel,
+            address.chip,
+            address.plane,
+            address.block,
+            address.page,
+        )
+        u = _unit(self.seed, self._epoch, _DOMAIN_READ_RETRY, *site)
+        if u >= plan.read_retry_rate:
+            return 0
+        depth_u = _unit(self.seed, self._epoch, _DOMAIN_READ_RETRY_DEPTH, *site)
+        depth = 1 + int(depth_u * plan.read_retry_max)
+        depth = min(depth, plan.read_retry_max)
+        self.counts.pages_with_retry += 1
+        self.counts.retry_passes += depth
+        return depth
+
+    def transfer_crc_retries(self, address: PhysicalPageAddress) -> int:
+        """Extra bus transfers of this page after CRC failures.
+
+        Occurrence and depth use independent hash domains (see
+        :meth:`page_read_retries`) so realized CRC cost is monotone in
+        ``crc_error_rate``.
+        """
+        self.counts.transfers += 1
+        plan = self.plan
+        if plan.crc_error_rate <= 0.0:
+            return 0
+        site = (
+            address.channel,
+            address.chip,
+            address.plane,
+            address.block,
+            address.page,
+        )
+        u = _unit(self.seed, self._epoch, _DOMAIN_CRC, *site)
+        if u >= plan.crc_error_rate:
+            return 0
+        depth_u = _unit(self.seed, self._epoch, _DOMAIN_CRC_DEPTH, *site)
+        depth = 1 + int(depth_u * plan.crc_retry_max)
+        depth = min(depth, plan.crc_retry_max)
+        self.counts.transfers_with_crc_error += 1
+        self.counts.crc_retransfers += depth
+        return depth
+
+    # ------------------------------------------------------------------
+    # hard failures
+    # ------------------------------------------------------------------
+    def chip_dead(self, channel: int, chip: int, now: float = 0.0) -> bool:
+        """Whether one flash chip is failed at simulated time ``now``."""
+        at = self._dead_chips.get((channel, chip))
+        if at is not None and now >= at:
+            return True
+        rate = self.plan.chip_failure_rate
+        if rate > 0.0:
+            return _unit(self.seed, _DOMAIN_CHIP_AMBIENT, channel, chip) < rate
+        return False
+
+    def plane_dead(
+        self, channel: int, chip: int, plane: int, now: float = 0.0
+    ) -> bool:
+        """Whether one plane is failed (dead chips kill all planes)."""
+        at = self._dead_planes.get((channel, chip, plane))
+        if at is not None and now >= at:
+            return True
+        return self.chip_dead(channel, chip, now)
+
+    def accelerator_dead(self, index: int, now: float = 0.0) -> bool:
+        """Whether accelerator ``index`` is failed at time ``now``."""
+        at = self._dead_accels.get(index)
+        if at is not None and now >= at:
+            return True
+        rate = self.plan.accel_failure_rate
+        if rate > 0.0:
+            return _unit(self.seed, _DOMAIN_ACCEL_AMBIENT, index) < rate
+        return False
+
+    def failed_accelerators(self, count: int, now: float = 0.0) -> List[int]:
+        """Indices of dead accelerators among ``count`` instances."""
+        if not self.plan.injects_hard_failures:
+            return []
+        return [i for i in range(count) if self.accelerator_dead(i, now)]
+
+    def note_failed_read(self) -> None:
+        """Record one page read lost to a dead chip/plane."""
+        self.counts.failed_reads += 1
+
+    def note_dispatch_timeout(self) -> None:
+        """Record one accelerator dispatch attempt that timed out."""
+        self.counts.dispatch_timeouts += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether this injector can perturb anything at all."""
+        return not self.plan.is_zero
+
+    def scheduled_dead_accels(self) -> Set[int]:
+        """Accelerators with scheduled (time-based) failures."""
+        return set(self._dead_accels)
+
+
+def maybe_injector(
+    plan: Optional[FaultPlan], seed: int = 0
+) -> Optional[FaultInjector]:
+    """``None`` for missing/zero plans, else a bound injector.
+
+    The hooks in the SSD models treat ``injector is None`` as the
+    zero-overhead fast path, so builders funnel plan construction
+    through this helper to guarantee idle plans cost nothing.
+    """
+    if plan is None or plan.is_zero:
+        return None
+    return FaultInjector(plan=plan, seed=seed)

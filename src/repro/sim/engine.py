@@ -31,10 +31,16 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    #: owning scheduler, set by :meth:`Simulator.schedule`; lets
+    #: ``cancel`` report itself so the heap can be compacted
+    sim: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._note_cancelled()
 
 
 class Simulator:
@@ -51,11 +57,17 @@ class Simulator:
     2.0
     """
 
+    #: compaction triggers only past this heap size — tiny heaps are
+    #: cheap to scan lazily and not worth a rebuild
+    COMPACT_MIN_HEAP = 8
+
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -67,6 +79,39 @@ class Simulator:
         """Number of callbacks executed so far (diagnostics/tests)."""
         return self._events_processed
 
+    @property
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events still waiting in the heap."""
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events not yet removed from the heap."""
+        return self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap was rebuilt to purge cancelled events."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; purges when >50% is dead.
+
+        Long timeout-heavy simulations (e.g. dispatch retry ladders
+        where almost every timeout is cancelled by a completion) would
+        otherwise grow the heap without bound; an O(n) rebuild amortized
+        against n/2 cancellations is O(1) per cancel.
+        """
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) > self.COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_pending = 0
+            self._compactions += 1
+
     def schedule(
         self, time: float, callback: Callable[[], None], label: str = ""
     ) -> Event:
@@ -75,7 +120,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self._now}"
             )
-        event = Event(time=time, seq=next(self._counter), callback=callback, label=label)
+        event = Event(
+            time=time, seq=next(self._counter), callback=callback,
+            label=label, sim=self,
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -91,6 +139,7 @@ class Simulator:
         """Time of the next pending (non-cancelled) event, or ``None``."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_pending -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
@@ -98,9 +147,13 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             self._events_processed += 1
+            # the event left the heap: a late cancel() must not skew
+            # the cancelled-pending accounting
+            event.sim = None
             event.callback()
             return True
         return False

@@ -9,16 +9,25 @@ consumer (the SSD DRAM for normal reads, or a DeepStore accelerator's
 Bus arbitration is FIFO over buffered pages, which models the
 round-robin flash channel arbitration that limits external bandwidth in
 commodity SSDs (paper §2.2).
+
+With a :class:`~repro.faults.FaultInjector` attached, a buffered page
+may fail its transfer CRC and be re-clocked over the bus (the bus stays
+occupied for the extra transfer passes), and reads against hard-failed
+chips complete through the ``on_failed`` path instead of delivering.
+Without an injector, timing is bit-identical to the fault-free model.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.sim import Resource, Simulator
 from repro.ssd.flash import FlashChip, PageReadRequest
 from repro.ssd.geometry import PhysicalPageAddress, SsdGeometry
 from repro.ssd.timing import FlashTiming
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 
 
 class ChannelController:
@@ -30,11 +39,13 @@ class ChannelController:
         geometry: SsdGeometry,
         timing: FlashTiming,
         channel_index: int,
+        injector: Optional["FaultInjector"] = None,
     ):
         self.sim = sim
         self.geometry = geometry
         self.timing = timing
         self.channel_index = channel_index
+        self.injector = injector
         self.bus = Resource(sim, name=f"ch{channel_index}-bus")
         self.chips: List[FlashChip] = [
             FlashChip(
@@ -42,11 +53,14 @@ class ChannelController:
                 timing,
                 planes=geometry.planes_per_chip,
                 name=f"ch{channel_index}-chip{i}",
+                injector=injector,
             )
             for i in range(geometry.chips_per_channel)
         ]
         self.pages_delivered = 0
         self.bytes_delivered = 0
+        self.pages_failed = 0
+        self.crc_retransfers = 0
         self._latency_sum = 0.0
 
     # ------------------------------------------------------------------
@@ -54,8 +68,14 @@ class ChannelController:
         self,
         address: PhysicalPageAddress,
         on_delivered: Callable[[PhysicalPageAddress], None],
+        on_failed: Optional[Callable[[PhysicalPageAddress], None]] = None,
     ) -> None:
-        """Read one page and deliver it over the channel bus."""
+        """Read one page and deliver it over the channel bus.
+
+        ``on_failed`` (optional) fires instead of ``on_delivered`` when
+        the page's chip/plane is hard-failed under the active fault
+        plan; without a fault plan it is never called.
+        """
         if address.channel != self.channel_index:
             raise ValueError(
                 f"page {address} routed to channel {self.channel_index}"
@@ -68,6 +88,16 @@ class ChannelController:
                 self.timing.transfer_seconds(self.geometry.page_bytes)
                 + self.timing.command_overhead_s
             )
+            if self.injector is not None:
+                # CRC failures re-clock the page over the bus; the bus
+                # stays held for the extra passes
+                extra = self.injector.transfer_crc_retries(address)
+                if extra:
+                    self.crc_retransfers += extra
+                    transfer += extra * (
+                        self.timing.transfer_seconds(self.geometry.page_bytes)
+                        + self.timing.command_overhead_s
+                    )
 
             def done() -> None:
                 chip.release_buffer(address.plane)
@@ -78,7 +108,14 @@ class ChannelController:
 
             self.bus.acquire(transfer, done)
 
-        chip.read(PageReadRequest(address=address, on_buffered=buffered))
+        def failed(request: PageReadRequest) -> None:
+            self.pages_failed += 1
+            if on_failed is not None:
+                on_failed(address)
+
+        chip.read(
+            PageReadRequest(address=address, on_buffered=buffered, on_failed=failed)
+        )
 
     def occupy_bus(self, nbytes: int, on_done: Callable[[], None]) -> None:
         """Occupy the channel bus for non-page traffic.
@@ -110,4 +147,6 @@ class ChannelController:
             "bytes_delivered": float(self.bytes_delivered),
             "mean_delivery_latency_s": self.mean_delivery_latency,
             "bus_busy_seconds": self.bus.busy_seconds,
+            "pages_failed": float(self.pages_failed),
+            "crc_retransfers": float(self.crc_retransfers),
         }

@@ -150,14 +150,22 @@ class SystolicArray:
         # the drain network supports; this is why Fig. 6's FC curve
         # saturates instead of scaling with the full PE count.
         rows_used = min(m, r)
-        fold = 1
+        max_fold = 1
         if tiles_m == 1:
-            fold = min(self.config.max_fold, max(1, r // rows_used))
-        k_eff = math.ceil(k / (fold * self.config.ops_per_pe))
-        # Skew fill/drain spans the occupied extent of the array.
-        fill = min(rows_used * fold, r) + min(n, c) - 2
-        per_tile = k_eff + fill + 1
-        return tiles_m * tiles_n * per_tile
+            max_fold = min(self.config.max_fold, max(1, r // rows_used))
+
+        def per_tile(fold: int) -> float:
+            k_eff = math.ceil(k / (fold * self.config.ops_per_pe))
+            # Skew fill/drain spans the occupied extent of the array.
+            fill = min(rows_used * fold, r) + min(n, c) - 2
+            return k_eff + fill + 1
+
+        # Folding trades a longer fill skew for a shorter reduction, so
+        # it only pays when K is large; taking the cheapest allowed fold
+        # keeps the estimate monotone in every GEMM dimension (min over
+        # a shrinking family of non-decreasing functions).
+        best = min(per_tile(fold) for fold in range(1, max_fold + 1))
+        return tiles_m * tiles_n * best
 
     def _ws_gemm_cycles(self, m: int, n: int, k: int) -> float:
         r, c = self.config.rows, self.config.cols

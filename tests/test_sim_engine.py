@@ -101,6 +101,44 @@ class TestSimulator:
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False
 
+    def test_heap_compaction_purges_cancelled_majority(self):
+        # timeout-heavy workloads cancel most of what they schedule; the
+        # heap must shed that garbage instead of growing without bound
+        sim = Simulator()
+        keep = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        doomed = [sim.schedule(2000.0 + i, lambda: None) for i in range(100)]
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions >= 1
+        # invariant: cancelled garbage never exceeds half the heap
+        assert sim.cancelled_pending * 2 <= len(sim._heap)
+        assert sim.pending_events == len(keep)
+        assert len(sim._heap) < len(keep) + len(doomed)
+        # the surviving events still fire, in order
+        fired = []
+        for event in keep:
+            event.callback = lambda t=event.time: fired.append(t)
+        sim.run()
+        assert fired == sorted(e.time for e in keep)
+
+    def test_small_heaps_skip_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        for event in events:
+            event.cancel()
+        assert sim.compactions == 0  # below COMPACT_MIN_HEAP: lazy pops win
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_cancel_after_fire_does_not_skew_accounting(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        event.cancel()  # already executed; must not count as pending
+        assert sim.cancelled_pending == 0
+        assert sim.pending_events == 1
+
     @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
     def test_events_always_fire_in_nondecreasing_time(self, times):
         sim = Simulator()
