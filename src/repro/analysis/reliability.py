@@ -13,34 +13,24 @@ same arguments produce byte-identical reports.
 from __future__ import annotations
 
 import json
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import format_seconds
 from repro.core.engine import DispatchPolicy
 from repro.core.event_query import EventQuerySimulator
 from repro.faults import FaultInjector, FaultPlan
 from repro.nn.graph import Graph
+
+# the nearest-rank percentile moved into the shared metrics layer
+# (repro.obs); re-exported here because reports and tests import it from
+# repro.analysis
+from repro.obs.metrics import percentile
 from repro.ssd.ftl import DatabaseMetadata
 from repro.ssd.timing import SsdConfig
 from repro.workloads.apps import AppSpec
 
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Deterministic nearest-rank percentile (no interpolation).
-
-    Nearest-rank keeps reports reproducible across numpy versions and
-    always returns an actually-observed latency, which is what a tail
-    SLO refers to.
-    """
-    if not values:
-        raise ValueError("percentile of an empty sequence")
-    if not 0.0 < q <= 100.0:
-        raise ValueError("q must be in (0, 100]")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+__all__ = ["ReliabilityReport", "percentile", "run_reliability_trial"]
 
 
 @dataclass
@@ -175,6 +165,7 @@ def run_reliability_trial(
     graph: Optional[Graph] = None,
     policy: Optional[DispatchPolicy] = None,
     max_pages_per_channel: Optional[int] = None,
+    metrics=None,
 ) -> ReliabilityReport:
     """Run ``queries`` event-driven queries under ``plan`` and report.
 
@@ -183,6 +174,11 @@ def run_reliability_trial(
     advances the injector epoch, modelling independent trials on a
     database whose marginal pages stay marginal within a query but are
     re-drawn between queries.
+
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) collects the
+    injected queries' SSD/engine/fault instruments in one place; the
+    healthy baseline run is kept out of it so tallies describe the
+    faulted executions only.
     """
     if queries <= 0:
         raise ValueError("queries must be positive")
@@ -193,7 +189,7 @@ def run_reliability_trial(
     )
     injector: Optional[FaultInjector] = None
     if not plan.is_zero:
-        injector = FaultInjector(plan=plan, seed=seed)
+        injector = FaultInjector(plan=plan, seed=seed, metrics=metrics)
 
     latencies: List[float] = []
     availabilities: List[float] = []
@@ -213,6 +209,7 @@ def run_reliability_trial(
                 max_pages_per_channel=max_pages_per_channel,
                 injector=injector,
                 policy=policy,
+                metrics=metrics,
             )
             latencies.append(result.total_seconds)
             availabilities.append(result.availability)

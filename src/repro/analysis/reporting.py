@@ -80,16 +80,36 @@ def ascii_series(
     Benchmarks use this to sketch figure *shapes* (saturation curves,
     miss-rate declines) directly in text output.
 
+    Series longer than ``width`` are downsampled by bucket-averaging —
+    each output character covers a near-equal slice of the input — so a
+    long series renders its full shape instead of being truncated at
+    ``width`` samples.
+
     >>> ascii_series([1, 2, 4, 8], width=8)
     '▁▂▄█'
+    >>> ascii_series([0, 0, 0, 0, 8, 8, 8, 8], width=2)
+    '▁█'
     """
     if not values:
         raise ValueError("empty series")
+    width = max(1, width)
+    samples = [float(v) for v in values]
+    if len(samples) > width:
+        n = len(samples)
+        buckets = []
+        for i in range(width):
+            # slice bounds chosen so every sample lands in exactly one
+            # bucket and bucket sizes differ by at most one
+            start = i * n // width
+            end = (i + 1) * n // width
+            chunk = samples[start:end]
+            buckets.append(sum(chunk) / len(chunk))
+        samples = buckets
     blocks = "▁▂▃▄▅▆▇█"
-    lo, hi = min(values), max(values)
+    lo, hi = min(samples), max(samples)
     span = hi - lo
     chars = []
-    for v in values[: max(1, width)]:
+    for v in samples:
         if span == 0:
             chars.append(blocks[0])
         else:

@@ -10,6 +10,8 @@ Small, self-contained runners over the library for the common questions:
 ``dse``        PE scaling curves (Fig. 6)
 ``cache``      a query-cache simulation (Fig. 13-style point)
 ``faults``     fault-injected queries and a reliability report
+``trace``      run one traced query; emit Chrome trace JSON + breakdown
+``profile``    busiest-resource occupancy and idle-gap analysis
 ``demo``       a real end-to-end query with planted neighbors
 =============  ==========================================================
 """
@@ -240,6 +242,117 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_traced_query(args: argparse.Namespace):
+    """Shared runner for ``trace``/``profile``: one instrumented query."""
+    from repro.core.event_query import EventQuerySimulator
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.ssd import Ssd
+    from repro.workloads import get_app
+
+    app = get_app(args.app)
+    ssd = Ssd()
+    meta = ssd.ftl.create_database(app.feature_bytes, args.features)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    result = EventQuerySimulator().run(
+        app,
+        meta,
+        max_pages_per_channel=args.max_pages,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return app, result, tracer, metrics
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one event-driven query with tracing; export + explain it."""
+    import json
+
+    from repro.analysis.reporting import ascii_series
+    from repro.obs import (
+        profile_resources,
+        query_breakdown,
+        utilization_timelines,
+        write_chrome_trace,
+    )
+
+    try:
+        app, result, tracer, metrics = _run_traced_query(args)
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    write_chrome_trace(tracer, args.out)
+    breakdown = query_breakdown(result)
+    if args.json:
+        print(json.dumps({
+            "app": app.name,
+            "features": args.features,
+            "trace_file": args.out,
+            "spans": tracer.span_count,
+            "instants": len(tracer.instants),
+            "sim_events": tracer.count("sim.event"),
+            "breakdown": breakdown.as_dict(),
+            "metrics": metrics.snapshot(),
+        }, indent=2, sort_keys=True))
+        return 0
+    breakdown.table(
+        f"Per-query latency breakdown ({app.name}, {result.pages} pages)"
+    ).print()
+    print(f"\ntrace: {args.out} ({tracer.span_count} spans, "
+          f"{len(tracer.instants)} instants, "
+          f"{tracer.count('sim.event')} sim events) — open in "
+          f"chrome://tracing or https://ui.perfetto.dev")
+    timelines = utilization_timelines(tracer, bins=args.bins)
+    print("\n== Utilization (busy fraction vs sim time, busiest first) ==")
+    for usage in profile_resources(tracer, end=result.scan_seconds, top=args.top):
+        series = timelines.get(usage.name)
+        if not series:
+            continue
+        bar = ascii_series(series, width=args.bins)
+        print(f"{usage.name:24s} {bar} {usage.utilization * 100:5.1f}%")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Top-N busiest resources and idle-gap analysis of one query."""
+    import json
+
+    from repro.analysis import Table, format_seconds
+    from repro.obs import profile_resources
+
+    try:
+        app, result, tracer, metrics = _run_traced_query(args)
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    usages = profile_resources(tracer, end=result.scan_seconds, top=args.top)
+    if args.json:
+        print(json.dumps({
+            "app": app.name,
+            "scan_seconds": result.scan_seconds,
+            "total_seconds": result.total_seconds,
+            "resources": [u.as_dict() for u in usages],
+            "metrics": metrics.snapshot(),
+        }, indent=2, sort_keys=True))
+        return 0
+    table = Table(
+        f"Busiest resources ({app.name}, scan "
+        f"{format_seconds(result.scan_seconds)})",
+        ["Resource", "Busy", "Util", "Spans", "Idle gaps", "Longest gap"],
+    )
+    for usage in usages:
+        table.add_row(
+            usage.name,
+            format_seconds(usage.busy_seconds),
+            f"{usage.utilization * 100:5.1f}%",
+            usage.spans,
+            usage.idle_gaps,
+            format_seconds(usage.longest_idle_gap_s),
+        )
+    table.print()
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import DeepStoreDevice
     from repro.analysis import format_seconds
@@ -328,6 +441,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cap pages scanned per channel")
     faults.add_argument("--json", action="store_true")
 
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--app", default="tir",
+                       choices=["reid", "mir", "estp", "tir", "textqa"])
+        p.add_argument("--features", type=int, default=20_000,
+                       help="database size in feature vectors")
+        p.add_argument("--max-pages", type=int, default=64,
+                       help="cap pages scanned per channel")
+        p.add_argument("--top", type=int, default=8,
+                       help="resources to show, busiest first")
+        p.add_argument("--json", action="store_true")
+
+    trace = sub.add_parser(
+        "trace", help="traced query: Chrome trace JSON + latency breakdown"
+    )
+    add_obs_args(trace)
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace-event JSON output path")
+    trace.add_argument("--bins", type=int, default=40,
+                       help="utilization timeline resolution")
+
+    profile = sub.add_parser(
+        "profile", help="busiest resources + idle-gap analysis"
+    )
+    add_obs_args(profile)
+
     demo = sub.add_parser("demo", help="end-to-end functional query")
     demo.add_argument("--app", default="tir",
                       choices=["reid", "mir", "estp", "tir", "textqa"])
@@ -348,6 +486,8 @@ COMMANDS = {
     "plan": _cmd_plan,
     "scorecard": _cmd_scorecard,
     "faults": _cmd_faults,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "demo": _cmd_demo,
 }
 

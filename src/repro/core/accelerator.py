@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultInjector
+    from repro.obs.tracer import Tracer
 
 from repro.core.placement import AcceleratorPlacement
 from repro.core.topk import TopKSorter
@@ -165,6 +166,7 @@ class InStorageAccelerator:
         max_pages: int = 256,
         queue_depth: int = 8,
         injector: Optional["FaultInjector"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> StripeScanResult:
         """Scan a window of this channel's stripe with full event timing.
 
@@ -178,9 +180,14 @@ class InStorageAccelerator:
         """
         if self.placement.level != "channel":
             raise ValueError("stripe scans model channel-level accelerators")
-        sim = Simulator()
+        sim = Simulator(tracer=tracer)
         controller = ChannelController(
             sim, self.ssd.geometry, self.ssd.timing, channel, injector=injector
+        )
+        accel_track = (
+            sim.tracer.track(f"channel {channel}", "accelerator")
+            if sim.tracer is not None
+            else None
         )
         queue = BoundedQueue(sim, queue_depth, name="FLASH_DFV")
         trace = list(
@@ -222,6 +229,11 @@ class InStorageAccelerator:
 
         def consume() -> None:
             def got(_page) -> None:
+                if accel_track is not None:
+                    sim.tracer.complete(
+                        accel_track, "scn-compute", sim.now,
+                        compute_per_page, cat="accel.compute",
+                    )
                 sim.schedule_after(compute_per_page, finished)
 
             def finished() -> None:

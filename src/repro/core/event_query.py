@@ -30,6 +30,8 @@ from repro.core.engine import DispatchPolicy, QueryEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultInjector
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
 from repro.core.placement import AcceleratorPlacement, CHANNEL_LEVEL
 from repro.nn.graph import Graph
 from repro.sim import BoundedQueue, Simulator
@@ -54,6 +56,20 @@ class EventQueryResult:
     failed_channels: List[int] = field(default_factory=list)
     #: pages a surviving channel scanned on a dead channel's behalf
     remapped_pages: int = 0
+    #: serial engine overheads; ``scan + dispatch + merge + setup`` is
+    #: exactly ``total_seconds`` (same floats, same add order)
+    dispatch_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    setup_seconds: float = 0.0
+
+    @property
+    def overhead_components(self) -> Dict[str, float]:
+        """Named serial overheads for breakdown reporting."""
+        return {
+            "dispatch": self.dispatch_seconds,
+            "merge": self.merge_seconds,
+            "setup": self.setup_seconds,
+        }
 
     @property
     def channel_skew(self) -> float:
@@ -96,6 +112,8 @@ class EventQuerySimulator:
         max_pages_per_channel: Optional[int] = None,
         injector: Optional["FaultInjector"] = None,
         policy: Optional[DispatchPolicy] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> EventQueryResult:
         """Simulate one query over every channel; returns measured times.
 
@@ -105,11 +123,18 @@ class EventQuerySimulator:
         remapped: their stripe's pages are adopted round-robin by
         surviving channels' accelerators.  Without an injector the
         execution is bit-identical to the fault-free path.
+
+        ``tracer``/``metrics`` observe the run without perturbing it:
+        spans land on one trace pid per channel (bus/chip/accelerator
+        lanes) plus an engine pid for the query lifecycle, and counters
+        and latency histograms register into the shared registry.
+        Timings are bit-identical with either, both, or neither set.
         """
         graph = graph or app.build_scn()
         accel = InStorageAccelerator(self.placement, self.ssd, graph)
         geo = self.ssd.geometry
-        sim = Simulator()
+        sim = Simulator(tracer=tracer)
+        tracing = sim.tracer is not None
         engine = QueryEngine(self.ssd)
 
         spf = accel.compute_seconds_per_feature(
@@ -164,7 +189,8 @@ class EventQuerySimulator:
             controller = controllers.get(channel)
             if controller is None:
                 controller = ChannelController(
-                    sim, geo, self.ssd.timing, channel, injector=injector
+                    sim, geo, self.ssd.timing, channel,
+                    injector=injector, metrics=metrics,
                 )
                 controllers[channel] = controller
             return controller
@@ -177,6 +203,11 @@ class EventQuerySimulator:
             cursor = {"next": 0}
             done = {"pages": 0}
             failed = {"pages": 0}
+            accel_track = (
+                sim.tracer.track(f"channel {ch}", "accelerator")
+                if tracing
+                else None
+            )
 
             def channel_finished() -> None:
                 per_channel_done[ch] = sim.now
@@ -205,6 +236,13 @@ class EventQuerySimulator:
 
             def consume() -> None:
                 def got(_page) -> None:
+                    if accel_track is not None:
+                        # accelerator occupancy: one span per page's SCN
+                        # compute (duration is predetermined)
+                        sim.tracer.complete(
+                            accel_track, "scn-compute", sim.now,
+                            compute_per_page, cat="accel.compute",
+                        )
                     sim.schedule_after(compute_per_page, finished)
 
                 def finished() -> None:
@@ -231,21 +269,39 @@ class EventQuerySimulator:
         if failed_channels:
             policy = policy or DispatchPolicy()
             survivors_n = geo.channels - len(failed_channels)
-            overhead = (
-                engine.degraded_dispatch_seconds(
-                    geo.channels, len(failed_channels), policy
-                )
-                + engine.merge_seconds(survivors_n, 10)
-                + accel.query_setup_seconds()
+            dispatch = engine.degraded_dispatch_seconds(
+                geo.channels, len(failed_channels), policy
             )
+            merge = engine.merge_seconds(survivors_n, 10)
         else:
-            overhead = (
-                engine.dispatch_seconds(geo.channels)
-                + engine.merge_seconds(geo.channels, 10)
-                + accel.query_setup_seconds()
-            )
-        return EventQueryResult(
-            total_seconds=scan_seconds + overhead,
+            dispatch = engine.dispatch_seconds(geo.channels)
+            merge = engine.merge_seconds(geo.channels, 10)
+        setup = accel.query_setup_seconds()
+        overhead = dispatch + merge + setup
+        total_seconds = scan_seconds + overhead
+        if tracing:
+            # query lifecycle on the engine pid.  The simulator executes
+            # the scan at t=0 and the model appends the serial engine
+            # costs, so the trace shows them in composition order:
+            # scan, then dispatch/merge/setup back to back.
+            track = sim.tracer.track("engine", "query")
+            sim.tracer.instant(track, "query-issued", 0.0, cat="engine.query")
+            sim.tracer.complete(track, "query", 0.0, total_seconds,
+                                cat="engine.query",
+                                args={"pages": total_pages,
+                                      "failed_channels": list(failed_channels)})
+            phase_track = sim.tracer.track("engine", "phases")
+            sim.tracer.complete(phase_track, "scan", 0.0, scan_seconds,
+                                cat="engine.phase")
+            sim.tracer.complete(phase_track, "dispatch", scan_seconds,
+                                dispatch, cat="engine.phase")
+            sim.tracer.complete(phase_track, "merge", scan_seconds + dispatch,
+                                merge, cat="engine.phase")
+            sim.tracer.complete(phase_track, "setup",
+                                scan_seconds + dispatch + merge, setup,
+                                cat="engine.phase")
+        result = EventQueryResult(
+            total_seconds=total_seconds,
             scan_seconds=scan_seconds,
             per_channel_seconds=[per_channel_done.get(ch, 0.0)
                                  for ch in range(geo.channels)],
@@ -253,7 +309,18 @@ class EventQuerySimulator:
             pages_failed=failed_pages["n"],
             failed_channels=failed_channels,
             remapped_pages=remapped_pages,
+            dispatch_seconds=dispatch,
+            merge_seconds=merge,
+            setup_seconds=setup,
         )
+        if metrics is not None:
+            metrics.counter("engine.queries").inc()
+            metrics.counter("engine.pages_scanned").inc(
+                total_pages - failed_pages["n"]
+            )
+            metrics.histogram("engine.query_s").observe(total_seconds)
+            metrics.gauge("engine.channel_skew").set(result.channel_skew)
+        return result
 
 
 @dataclass
@@ -279,6 +346,7 @@ def simulate_chip_channel(
     channel: int = 0,
     max_pages: int = 256,
     queue_depth: int = 4,
+    tracer: Optional["Tracer"] = None,
 ) -> ChipChannelResult:
     """Event-driven scan of one channel at the **chip** level.
 
@@ -295,7 +363,7 @@ def simulate_chip_channel(
     graph = graph or app.build_scn()
     accel = InStorageAccelerator(CHIP_LEVEL, ssd, graph)
     geo = ssd.geometry
-    sim = Simulator()
+    sim = Simulator(tracer=tracer)
     controller = ChannelController(sim, geo, ssd.timing, channel)
 
     spf = accel.compute_seconds_per_feature(
@@ -328,14 +396,21 @@ def simulate_chip_channel(
         if state["features_since_broadcast"] >= features_per_round:
             state["features_since_broadcast"] -= features_per_round
             state["broadcasts"] += 1
-            controller.occupy_bus(weight_bytes, lambda: None)
+            controller.occupy_bus(
+                weight_bytes, lambda: None, label="weight-broadcast"
+            )
 
-    def start_chip(chip_trace: list) -> None:
+    def start_chip(chip_index: int, chip_trace: list) -> None:
         """Factory-bound per-chip closures (avoids late-binding the
         recursive `consume`)."""
         queue = BoundedQueue(sim, queue_depth, name="chip-dfv")
         cursor = {"next": 0}
         done = {"pages": 0}
+        accel_track = (
+            sim.tracer.track(f"channel {channel}", f"chip {chip_index} accel")
+            if sim.tracer is not None
+            else None
+        )
 
         def issue_next() -> None:
             i = cursor["next"]
@@ -348,6 +423,11 @@ def simulate_chip_channel(
 
         def consume() -> None:
             def got(_page) -> None:
+                if accel_track is not None:
+                    sim.tracer.complete(
+                        accel_track, "scn-compute", sim.now,
+                        compute_per_page, cat="accel.compute",
+                    )
                 sim.schedule_after(compute_per_page, finished)
 
             def finished() -> None:
@@ -366,9 +446,9 @@ def simulate_chip_channel(
             issue_next()
         consume()
 
-    for chip_trace in per_chip.values():
+    for chip_index, chip_trace in per_chip.items():
         if chip_trace:
-            start_chip(chip_trace)
+            start_chip(chip_index, chip_trace)
 
     sim.run(stop_when=lambda: state["remaining"] <= 0)
     return ChipChannelResult(

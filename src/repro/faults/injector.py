@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.faults.plan import FaultPlan
+from repro.obs.metrics import MetricsRegistry
 from repro.ssd.geometry import PhysicalPageAddress
 
 _MASK64 = (1 << 64) - 1
@@ -62,31 +63,75 @@ def _unit(*values: int) -> float:
     return _mix(*values) / float(1 << 64)
 
 
-@dataclass
-class ReliabilityCounters:
-    """Tallies of what the injector actually did during a run."""
+class _CounterField:
+    """Attribute access over a named registry counter.
 
-    page_reads: int = 0
-    pages_with_retry: int = 0
-    retry_passes: int = 0
-    transfers: int = 0
-    transfers_with_crc_error: int = 0
-    crc_retransfers: int = 0
-    failed_reads: int = 0
-    dispatch_timeouts: int = 0
+    Keeps the original ``counters.page_reads += 1`` call sites working
+    while the storage lives in a shared :class:`MetricsRegistry`.
+    """
+
+    def __set_name__(self, owner, name: str) -> None:
+        self._name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj._counters[self._name].value
+
+    def __set__(self, obj, value: int) -> None:
+        obj._counters[self._name].value = int(value)
+
+
+class ReliabilityCounters:
+    """Tallies of what the injector actually did during a run.
+
+    Backed by a :class:`~repro.obs.MetricsRegistry` (one ``faults.*``
+    counter per field) rather than one-off integers, so a run that
+    shares a registry between the SSD models and the injector gets the
+    fault tallies in the same ``snapshot()`` as everything else.  With
+    no registry given, a private one is created — the standalone
+    behaviour is unchanged.
+    """
+
+    FIELDS = (
+        "page_reads",
+        "pages_with_retry",
+        "retry_passes",
+        "transfers",
+        "transfers_with_crc_error",
+        "crc_retransfers",
+        "failed_reads",
+        "dispatch_timeouts",
+    )
+
+    page_reads = _CounterField()
+    pages_with_retry = _CounterField()
+    retry_passes = _CounterField()
+    transfers = _CounterField()
+    transfers_with_crc_error = _CounterField()
+    crc_retransfers = _CounterField()
+    failed_reads = _CounterField()
+    dispatch_timeouts = _CounterField()
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"faults.{name}")
+            for name in self.FIELDS
+        }
 
     def as_dict(self) -> Dict[str, int]:
         """Counter snapshot for reports and tests."""
-        return {
-            "page_reads": self.page_reads,
-            "pages_with_retry": self.pages_with_retry,
-            "retry_passes": self.retry_passes,
-            "transfers": self.transfers,
-            "transfers_with_crc_error": self.transfers_with_crc_error,
-            "crc_retransfers": self.crc_retransfers,
-            "failed_reads": self.failed_reads,
-            "dispatch_timeouts": self.dispatch_timeouts,
-        }
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReliabilityCounters):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ReliabilityCounters({fields})"
 
     @property
     def observed_retry_rate(self) -> float:
@@ -98,13 +143,21 @@ class ReliabilityCounters:
 
 @dataclass
 class FaultInjector:
-    """A :class:`FaultPlan` bound to a seed, with runtime counters."""
+    """A :class:`FaultPlan` bound to a seed, with runtime counters.
+
+    Pass ``metrics`` to tally into a shared registry (the counters then
+    appear as ``faults.*`` in that registry's snapshot alongside the SSD
+    and engine metrics); otherwise the counters keep a private one.
+    """
 
     plan: FaultPlan = field(default_factory=FaultPlan)
     seed: int = 0
     counts: ReliabilityCounters = field(default_factory=ReliabilityCounters)
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
+        if self.metrics is not None:
+            self.counts = ReliabilityCounters(registry=self.metrics)
         self._epoch = 0
         self._dead_chips: Dict[Tuple[int, int], float] = {}
         self._dead_planes: Dict[Tuple[int, int, int], float] = {}

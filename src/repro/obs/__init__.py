@@ -1,0 +1,65 @@
+"""Observability: span tracing, metrics, and trace/profile exporters.
+
+The paper's argument is an attribution argument — Fig. 2 attributes
+baseline time to I/O, Fig. 9 attributes insensitivity to bus-limited
+steady state, Fig. 12 attributes energy to flash reads — so the
+simulator must be able to say *where* simulated time went, not just how
+much of it passed.  This package is that layer:
+
+* :class:`Tracer` — span/instant recording with named process/thread
+  tracks.  Components hold a track handle and emit **complete spans**
+  (start + known duration) as they schedule work; with no tracer
+  attached every hook is a single ``is None`` check, and tracing never
+  schedules events of its own, so simulated timings are bit-identical
+  with tracing on, off, or absent.
+* :class:`MetricsRegistry` — named counters, gauges, and fixed-bucket
+  histograms (nearest-rank p50/p99) that components register into.
+  :class:`~repro.faults.ReliabilityCounters` is a view over the same
+  primitive, so fault tallies and performance metrics land in one
+  snapshot.
+* Exporters — Chrome ``chrome://tracing``/Perfetto JSON (one *pid* per
+  flash channel, one *tid* per chip/bus/accelerator), per-query latency
+  breakdowns whose components sum to the end-to-end latency, busy-
+  fraction utilization timelines, and a busiest-resource / idle-gap
+  profile.  ``python -m repro trace`` and ``python -m repro profile``
+  are the CLI front ends.
+"""
+
+from repro.obs.export import (
+    LatencyBreakdown,
+    ResourceUsage,
+    chrome_trace,
+    profile_resources,
+    query_breakdown,
+    utilization_timelines,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.obs.tracer import NULL_TRACER, Instant, NullTracer, Span, Tracer, TrackHandle
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Instant",
+    "TrackHandle",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+    "chrome_trace",
+    "write_chrome_trace",
+    "query_breakdown",
+    "LatencyBreakdown",
+    "utilization_timelines",
+    "profile_resources",
+    "ResourceUsage",
+]

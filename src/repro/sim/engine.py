@@ -10,7 +10,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 class SimulationError(RuntimeError):
@@ -61,13 +64,26 @@ class Simulator:
     #: cheap to scan lazily and not worth a rebuild
     COMPACT_MIN_HEAP = 8
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional["Tracer"] = None) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._events_processed = 0
         self._cancelled_pending = 0
         self._compactions = 0
+        # Disabled tracers resolve to None here so the hot dispatch loop
+        # pays one `is None` check and nothing else; instrumented
+        # components (resources, chips) read `sim.tracer` for the same
+        # reason.  Tracing only appends records — it never schedules —
+        # so simulated timings are identical with or without it.
+        self.tracer = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
+        self._event_track = (
+            self.tracer.track("sim", "events")
+            if self.tracer is not None
+            else None
+        )
 
     @property
     def now(self) -> float:
@@ -151,6 +167,16 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_processed += 1
+            if self.tracer is not None:
+                # one `sim.event` instant per dispatched callback: the
+                # exported trace reconciles this count against
+                # `events_processed` exactly
+                self.tracer.instant(
+                    self._event_track,
+                    event.label or "event",
+                    event.time,
+                    cat="sim.event",
+                )
             # the event left the heap: a late cancel() must not skew
             # the cancelled-pending accounting
             event.sim = None

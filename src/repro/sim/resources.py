@@ -9,9 +9,12 @@ matches the round-robin/FIFO channel arbitration the paper assumes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional, Tuple
 
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import TrackHandle
 
 
 class Resource:
@@ -21,16 +24,28 @@ class Resource:
     callback; the callback fires when the hold *finishes*.  Utilization
     statistics (busy seconds, peak queue depth) are tracked for energy and
     contention reporting.
+
+    When the owning simulator carries a tracer and :attr:`track` is set
+    (e.g. by :class:`~repro.ssd.controller.ChannelController` for its
+    bus), every hold is emitted as one complete span on that track, named
+    by the ``label`` the acquirer passed.  Holds have predetermined
+    durations, so the span is recorded at grant time in a single call.
     """
 
     def __init__(self, sim: Simulator, name: str = "resource") -> None:
         self.sim = sim
         self.name = name
         self._busy = False
-        self._waiting: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self._waiting: Deque[
+            Tuple[float, Callable[[], None], Optional[str], Optional[Dict]]
+        ] = deque()
         self.busy_seconds = 0.0
         self.grants = 0
         self.peak_queue_depth = 0
+        #: span destination; None (the default) disables span emission
+        self.track: Optional["TrackHandle"] = None
+        #: Chrome-trace category for this resource's spans
+        self.trace_cat = "sim.resource"
 
     @property
     def busy(self) -> bool:
@@ -40,20 +55,41 @@ class Resource:
     def queue_depth(self) -> int:
         return len(self._waiting)
 
-    def acquire(self, duration: float, on_done: Callable[[], None]) -> None:
-        """Hold the resource for ``duration`` seconds, then call ``on_done``."""
+    def acquire(
+        self,
+        duration: float,
+        on_done: Callable[[], None],
+        label: Optional[str] = None,
+        trace_args: Optional[Dict] = None,
+    ) -> None:
+        """Hold the resource for ``duration`` seconds, then call ``on_done``.
+
+        ``label``/``trace_args`` name and annotate the hold's trace span;
+        both are ignored (and should be left None) when not tracing.
+        """
         if duration < 0:
             raise ValueError(f"negative hold duration {duration}")
         if self._busy:
-            self._waiting.append((duration, on_done))
+            self._waiting.append((duration, on_done, label, trace_args))
             self.peak_queue_depth = max(self.peak_queue_depth, len(self._waiting))
             return
-        self._start(duration, on_done)
+        self._start(duration, on_done, label, trace_args)
 
-    def _start(self, duration: float, on_done: Callable[[], None]) -> None:
+    def _start(
+        self,
+        duration: float,
+        on_done: Callable[[], None],
+        label: Optional[str] = None,
+        trace_args: Optional[Dict] = None,
+    ) -> None:
         self._busy = True
         self.grants += 1
         self.busy_seconds += duration
+        if self.track is not None and self.sim.tracer is not None:
+            self.sim.tracer.complete(
+                self.track, label or self.name, self.sim.now, duration,
+                cat=self.trace_cat, args=trace_args,
+            )
         self.sim.schedule_after(duration, lambda: self._finish(on_done))
 
     def _finish(self, on_done: Callable[[], None]) -> None:
@@ -62,8 +98,8 @@ class Resource:
         # competes fairly with already-waiting requests.
         on_done()
         if not self._busy and self._waiting:
-            duration, callback = self._waiting.popleft()
-            self._start(duration, callback)
+            duration, callback, label, trace_args = self._waiting.popleft()
+            self._start(duration, callback, label, trace_args)
 
     def utilization(self, over_seconds: Optional[float] = None) -> float:
         """Fraction of time busy over ``over_seconds`` (default: sim.now)."""

@@ -28,6 +28,7 @@ from repro.ssd.timing import FlashTiming
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultInjector
+    from repro.obs.metrics import MetricsRegistry
 
 
 class ChannelController:
@@ -40,6 +41,7 @@ class ChannelController:
         timing: FlashTiming,
         channel_index: int,
         injector: Optional["FaultInjector"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ):
         self.sim = sim
         self.geometry = geometry
@@ -57,11 +59,27 @@ class ChannelController:
             )
             for i in range(geometry.chips_per_channel)
         ]
+        if sim.tracer is not None:
+            # one trace pid per channel; bus and each chip get a tid
+            process = f"channel {channel_index}"
+            self.bus.track = sim.tracer.track(process, "bus")
+            self.bus.trace_cat = "ssd.bus"
+            for i, chip in enumerate(self.chips):
+                chip.track = sim.tracer.track(process, f"chip {i}")
         self.pages_delivered = 0
         self.bytes_delivered = 0
         self.pages_failed = 0
         self.crc_retransfers = 0
         self._latency_sum = 0.0
+        # shared instruments: every controller in a run feeds the same
+        # registry entries, so device-wide totals need no re-aggregation
+        # (`is not None`: an empty MetricsRegistry is falsy via __len__)
+        metered = metrics is not None
+        self._m_pages = metrics.counter("ssd.pages_delivered") if metered else None
+        self._m_bytes = metrics.counter("ssd.bytes_delivered") if metered else None
+        self._m_latency = (
+            metrics.histogram("ssd.page_delivery_s") if metered else None
+        )
 
     # ------------------------------------------------------------------
     def read_page(
@@ -88,13 +106,14 @@ class ChannelController:
                 self.timing.transfer_seconds(self.geometry.page_bytes)
                 + self.timing.command_overhead_s
             )
+            crc_extra = 0
             if self.injector is not None:
                 # CRC failures re-clock the page over the bus; the bus
                 # stays held for the extra passes
-                extra = self.injector.transfer_crc_retries(address)
-                if extra:
-                    self.crc_retransfers += extra
-                    transfer += extra * (
+                crc_extra = self.injector.transfer_crc_retries(address)
+                if crc_extra:
+                    self.crc_retransfers += crc_extra
+                    transfer += crc_extra * (
                         self.timing.transfer_seconds(self.geometry.page_bytes)
                         + self.timing.command_overhead_s
                     )
@@ -103,10 +122,22 @@ class ChannelController:
                 chip.release_buffer(address.plane)
                 self.pages_delivered += 1
                 self.bytes_delivered += self.geometry.page_bytes
-                self._latency_sum += self.sim.now - issue_time
+                latency = self.sim.now - issue_time
+                self._latency_sum += latency
+                if self._m_pages is not None:
+                    self._m_pages.inc()
+                    self._m_bytes.inc(self.geometry.page_bytes)
+                    self._m_latency.observe(latency)
                 on_delivered(address)
 
-            self.bus.acquire(transfer, done)
+            trace_args = None
+            if self.bus.track is not None:
+                trace_args = {"chip": address.chip, "plane": address.plane}
+                if crc_extra:
+                    # fault metadata: CRC re-transfers stretched this hold
+                    trace_args["crc_retransfers"] = crc_extra
+            self.bus.acquire(transfer, done, label="page-xfer",
+                             trace_args=trace_args)
 
         def failed(request: PageReadRequest) -> None:
             self.pages_failed += 1
@@ -117,14 +148,21 @@ class ChannelController:
             PageReadRequest(address=address, on_buffered=buffered, on_failed=failed)
         )
 
-    def occupy_bus(self, nbytes: int, on_done: Callable[[], None]) -> None:
+    def occupy_bus(
+        self,
+        nbytes: int,
+        on_done: Callable[[], None],
+        label: str = "bus-occupy",
+    ) -> None:
         """Occupy the channel bus for non-page traffic.
 
         Used to model the weight broadcasts the channel-level accelerator
         schedules to its chip-level accelerators (paper §4.5: the chip
         accelerator "cannot be the master of the bus").
         """
-        self.bus.acquire(self.timing.transfer_seconds(nbytes), on_done)
+        self.bus.acquire(
+            self.timing.transfer_seconds(nbytes), on_done, label=label
+        )
 
     # ------------------------------------------------------------------
     @property

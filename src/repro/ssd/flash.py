@@ -29,6 +29,7 @@ from repro.ssd.timing import FlashTiming
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultInjector
+    from repro.obs.tracer import TrackHandle
 
 
 @dataclass
@@ -63,6 +64,8 @@ class PageReadRequest:
     on_failed: Optional[Callable[["PageReadRequest"], None]] = None
     #: extra array-read passes this read cost (filled in by the chip)
     retry_passes: int = 0
+    #: when the plane actually started sensing (queueing excluded)
+    service_start: float = 0.0
 
 
 class FlashChip:
@@ -86,6 +89,9 @@ class FlashChip:
         self.pages_read = 0
         self.reads_failed = 0
         self.retry_passes = 0
+        #: trace lane for this chip's array reads (set by the channel
+        #: controller when tracing; None keeps the hooks free)
+        self.track: Optional["TrackHandle"] = None
 
     @property
     def plane_count(self) -> int:
@@ -118,6 +124,11 @@ class FlashChip:
             return False
         inj.note_failed_read()
         self.reads_failed += 1
+        if self.track is not None and self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                self.track, "read-failed", self.sim.now, cat="ssd.fault",
+                args={"plane": request.address.plane},
+            )
         if request.on_failed is not None:
             # the controller learns of the failure after the command
             # round-trip, not instantaneously
@@ -140,6 +151,7 @@ class FlashChip:
     # ------------------------------------------------------------------
     def _start(self, plane: _PlaneState, request: PageReadRequest) -> None:
         plane.reading = True
+        request.service_start = self.sim.now
         retries = 0
         if self.injector is not None:
             retries = self.injector.page_read_retries(request.address)
@@ -168,4 +180,14 @@ class FlashChip:
         plane.buffered = True
         self.pages_read += 1
         request.buffered_time = self.sim.now
+        if self.track is not None and self.sim.tracer is not None:
+            args = {"plane": request.address.plane}
+            if request.retry_passes:
+                # fault metadata: ECC read-retry passes stretched this span
+                args["retry_passes"] = request.retry_passes
+            self.sim.tracer.complete(
+                self.track, "array-read", request.service_start,
+                self.sim.now - request.service_start,
+                cat="ssd.flash", args=args,
+            )
         request.on_buffered(request)

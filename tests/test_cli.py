@@ -99,3 +99,77 @@ class TestCommands:
         assert main(["scorecard", "--gigabytes", "1", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["counts"]["mismatch"] == 0
+
+    def test_faults(self, capsys):
+        assert main([
+            "faults", "--features", "5000", "--queries", "2",
+            "--max-pages", "16",
+        ]) == 0
+        assert "Reliability report" in capsys.readouterr().out
+
+    def test_faults_json(self, capsys):
+        import json
+
+        assert main([
+            "faults", "--features", "5000", "--queries", "2",
+            "--max-pages", "16", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"] == 2
+        assert payload["slowdown"] >= 1.0
+
+
+class TestObservabilityCommands:
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--app", "tir", "--features", "5000",
+            "--max-pages", "16", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "Per-query latency breakdown" in text
+        assert "Utilization" in text
+        with open(out, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["traceEvents"]
+
+    def test_trace_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--features", "5000", "--max-pages", "16",
+            "--out", str(out), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_file"] == str(out)
+        assert payload["spans"] > 0
+        assert payload["sim_events"] > 0
+        breakdown = payload["breakdown"]
+        assert breakdown["total_seconds"] > 0
+        assert payload["metrics"]["engine.queries"] == 1
+
+    def test_profile(self, capsys):
+        assert main([
+            "profile", "--features", "5000", "--max-pages", "16",
+            "--top", "4",
+        ]) == 0
+        assert "Busiest resources" in capsys.readouterr().out
+
+    def test_profile_json(self, capsys):
+        import json
+
+        assert main([
+            "profile", "--features", "5000", "--max-pages", "16",
+            "--top", "4", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["resources"]) == 4
+        for usage in payload["resources"]:
+            assert 0.0 <= usage["utilization"] <= 1.0
+
+    def test_trace_rejects_bad_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--app", "nope"])

@@ -139,6 +139,73 @@ class TestSimulator:
         assert sim.cancelled_pending == 0
         assert sim.pending_events == 1
 
+    def test_peek_drains_cancelled_prefix_accounting(self):
+        # peek lazily pops cancelled heap heads; the cancelled-pending
+        # counter must track every one of those pops
+        sim = Simulator()
+        doomed = [sim.schedule(float(i + 1), lambda: None) for i in range(3)]
+        live = sim.schedule(10.0, lambda: None)
+        for event in doomed:
+            event.cancel()
+        assert sim.cancelled_pending == 3
+        assert sim.peek() == 10.0
+        assert sim.cancelled_pending == 0
+        assert sim.pending_events == 1
+        assert live.cancelled is False
+
+    def test_step_skips_cancelled_and_decrements_counter(self):
+        sim = Simulator()
+        doomed = sim.schedule(1.0, lambda: None)
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(sim.now))
+        doomed.cancel()
+        assert sim.cancelled_pending == 1
+        assert sim.step() is True  # pops the corpse, runs the live event
+        assert fired == [2.0]
+        assert sim.cancelled_pending == 0
+        assert sim.events_processed == 1
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.cancelled_pending == 1
+        assert sim.pending_events == 0
+
+    def test_compaction_resets_counter_then_peek_stays_consistent(self):
+        # after a compaction rebuilt the heap, lazy peek/step pops must
+        # not drive the cancelled counter negative
+        sim = Simulator()
+        keep = [sim.schedule(100.0 + i, lambda: None) for i in range(5)]
+        doomed = [sim.schedule(200.0 + i, lambda: None) for i in range(20)]
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions >= 1
+        assert sim.cancelled_pending == 0
+        assert sim.peek() == 100.0
+        assert sim.cancelled_pending == 0
+        sim.run()
+        assert sim.events_processed == len(keep)
+        assert sim.cancelled_pending == 0
+
+    def test_cancel_between_steps_keeps_invariant(self):
+        # interleave step() with cancellations: pending + cancelled must
+        # always equal the heap size, and live events all still fire
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(9)]
+        cancelled = 0
+        for i, event in enumerate(events):
+            if i % 3 == 0:
+                sim.step()
+            if i % 2 == 1 and not event.cancelled and event.time > sim.now:
+                event.cancel()
+                cancelled += 1
+            assert sim.pending_events + sim.cancelled_pending == len(sim._heap)
+        sim.run()
+        assert sim.events_processed == len(events) - cancelled
+        assert sim.cancelled_pending == 0
+
     @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
     def test_events_always_fire_in_nondecreasing_time(self, times):
         sim = Simulator()

@@ -1,0 +1,102 @@
+"""Tests for flash scan-trace generation (channel filters, windows)."""
+
+import pytest
+
+from repro.ssd import Ssd
+from repro.ssd.trace import scan_trace, stripe_page_count
+
+
+@pytest.fixture(scope="module")
+def db():
+    """A database spanning a few stripes on the default geometry."""
+    ssd = Ssd()
+    meta = ssd.ftl.create_database(1024, 4_000)
+    return ssd, meta
+
+
+class TestScanTrace:
+    def test_full_scan_covers_every_page_in_order(self, db):
+        ssd, meta = db
+        accesses = list(scan_trace(meta, ssd.config.geometry))
+        assert len(accesses) == meta.total_pages
+        offsets = [a.db_page_offset for a in accesses]
+        assert offsets == sorted(offsets)
+        assert offsets == list(range(meta.total_pages))
+
+    def test_channel_filter_only_yields_that_channel(self, db):
+        ssd, meta = db
+        for channel in (0, ssd.config.geometry.channels - 1):
+            accesses = list(scan_trace(meta, ssd.config.geometry, channel=channel))
+            assert accesses
+            assert all(a.address.channel == channel for a in accesses)
+
+    def test_channel_stripes_partition_the_scan(self, db):
+        ssd, meta = db
+        full = {a.ppn for a in scan_trace(meta, ssd.config.geometry)}
+        union = set()
+        total = 0
+        for channel in range(ssd.config.geometry.channels):
+            stripe = list(scan_trace(meta, ssd.config.geometry, channel=channel))
+            total += len(stripe)
+            union.update(a.ppn for a in stripe)
+            # the analytic count agrees with the enumerated stripe
+            assert len(stripe) == stripe_page_count(
+                meta, ssd.config.geometry, channel
+            )
+        assert union == full
+        assert total == meta.total_pages  # disjoint: counts add up exactly
+
+    def test_max_pages_clamps_output(self, db):
+        ssd, meta = db
+        accesses = list(scan_trace(meta, ssd.config.geometry, max_pages=7))
+        assert len(accesses) == 7
+
+    def test_max_pages_clamps_per_channel(self, db):
+        ssd, meta = db
+        accesses = list(
+            scan_trace(meta, ssd.config.geometry, channel=0, max_pages=3)
+        )
+        assert len(accesses) == 3
+        assert all(a.address.channel == 0 for a in accesses)
+
+    def test_max_pages_larger_than_trace_is_harmless(self, db):
+        ssd, meta = db
+        accesses = list(
+            scan_trace(meta, ssd.config.geometry, max_pages=meta.total_pages * 10)
+        )
+        assert len(accesses) == meta.total_pages
+
+    def test_start_page_skips_prefix(self, db):
+        ssd, meta = db
+        accesses = list(scan_trace(meta, ssd.config.geometry, start_page=10))
+        assert accesses[0].db_page_offset == 10
+        assert len(accesses) == meta.total_pages - 10
+
+    def test_start_page_with_window(self, db):
+        ssd, meta = db
+        window = list(
+            scan_trace(meta, ssd.config.geometry, start_page=5, max_pages=4)
+        )
+        assert [a.db_page_offset for a in window] == [5, 6, 7, 8]
+
+    def test_bad_channel_rejected(self, db):
+        ssd, meta = db
+        with pytest.raises(ValueError):
+            list(scan_trace(meta, ssd.config.geometry, channel=ssd.config.geometry.channels))
+        with pytest.raises(ValueError):
+            list(scan_trace(meta, ssd.config.geometry, channel=-1))
+
+
+class TestStripePageCount:
+    def test_counts_sum_to_total(self, db):
+        ssd, meta = db
+        total = sum(
+            stripe_page_count(meta, ssd.config.geometry, ch)
+            for ch in range(ssd.config.geometry.channels)
+        )
+        assert total == meta.total_pages
+
+    def test_bad_channel_rejected(self, db):
+        ssd, meta = db
+        with pytest.raises(ValueError):
+            stripe_page_count(meta, ssd.config.geometry, ssd.config.geometry.channels)
