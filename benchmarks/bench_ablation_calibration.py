@@ -8,7 +8,6 @@ paper's structural claims (channel level wins everywhere, SSD level
 loses everywhere, ReId worst / TextQA best) survive every setting.
 """
 
-import pytest
 from dataclasses import replace
 
 from repro.analysis import Table

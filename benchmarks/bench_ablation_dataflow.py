@@ -8,7 +8,6 @@ wherever weights are resident, while WS's weight pinning is what makes
 the chip level's bus-broadcast scheme workable at all.
 """
 
-import pytest
 from dataclasses import replace
 
 from repro.analysis import Table

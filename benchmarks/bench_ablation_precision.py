@@ -12,10 +12,8 @@ jumps from ~2x to ~9x, with no measured accuracy loss.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import Table, energy_efficiency
-from repro.baseline import GpuSsdSystem
 from repro.core import DeepStoreSystem
 from repro.nn.quantization import accuracy_delta, quantize_graph
 from repro.nn.training import make_pair_dataset
@@ -69,7 +67,6 @@ def accuracy_table():
         app = ALL_APPS[name]
         trained = train_scn(app, seed=0)
         q, f, y = make_pair_dataset(rng, app.feature_floats, 600)
-        row = {"fp32": None}
         base = None
         cells = []
         for precision in PRECISIONS:

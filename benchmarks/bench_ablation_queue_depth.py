@@ -8,7 +8,6 @@ throughput when the array is slow — the mechanism behind Fig. 9's
 insensitivity result.
 """
 
-import pytest
 
 from repro.analysis import Table
 from repro.core.accelerator import InStorageAccelerator

@@ -9,7 +9,6 @@ offered load — making the paper's choice (preempt) legible as a design
 point rather than an assumption.
 """
 
-import pytest
 
 from repro.analysis import Table
 from repro.core import DeepStoreSystem
@@ -35,7 +34,7 @@ def sweep(paper_databases):
     model = InterferenceModel()
     table = Table(
         "Extension: scan slowdown under host I/O (policy @ offered load)",
-        ["App", "io share"] + [f"{p}@{int(l * 100)}%" for p in POLICIES for l in LOADS],
+        ["App", "io share"] + [f"{p}@{int(ld * 100)}%" for p in POLICIES for ld in LOADS],
     )
     results = {}
     for name, app in ALL_APPS.items():

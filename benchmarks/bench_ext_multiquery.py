@@ -7,7 +7,6 @@ speedup over back-to-back execution plus the "free concurrency" each
 workload's bottleneck hands out.
 """
 
-import pytest
 
 from repro.analysis import Table
 from repro.core.scheduler import MultiQueryScheduler

@@ -1,0 +1,102 @@
+"""Extension: open-loop serving under offered load.
+
+The paper reports single-query latency; a service's operating point is
+the throughput-latency curve.  This bench sweeps offered load around
+the analytic saturation throughput for TIR (plain, cache-fronted, and
+degraded-mode variants) and asserts the curve's shape: achieved QPS
+tracks offered load below the knee and clips at saturation, tail
+latency rises monotonically, nothing is shed below the knee, and the
+cache raises capacity while the dead accelerators lower it.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.serving import (
+    ServingConfig,
+    ServingCurve,
+    sweep_offered_load,
+)
+from repro.workloads import QueryStream
+
+from conftest import emit
+
+FEATURES = 400_000
+QUERIES = 240
+SEED = 7
+FRACTIONS = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5)
+
+
+def run_variants():
+    plain = sweep_offered_load(
+        ServingConfig(app="tir", features=FEATURES, queue_bound=32,
+                      max_batch=8),
+        n_queries=QUERIES, seed=SEED, load_fractions=FRACTIONS,
+    )
+    cached = sweep_offered_load(
+        ServingConfig(app="tir", features=FEATURES, queue_bound=32,
+                      max_batch=8, cache_entries=256),
+        n_queries=QUERIES, seed=SEED, load_fractions=FRACTIONS,
+        stream=QueryStream(dim=64, n_intents=40, distribution="zipf",
+                           alpha=0.8, paraphrase_noise=0.05, seed=SEED),
+    )
+    degraded = sweep_offered_load(
+        ServingConfig(app="tir", features=FEATURES, queue_bound=32,
+                      max_batch=8, failed_accels=(0, 1)),
+        n_queries=QUERIES, seed=SEED, load_fractions=FRACTIONS,
+    )
+    return plain, cached, degraded
+
+
+def curves_table(plain, cached, degraded):
+    table = Table(
+        "Extension: serving throughput-latency (tir, 400K features)",
+        ["variant", "offered", "achieved", "goodput", "shed%",
+         "p50 ms", "p99 ms"],
+    )
+    for name, curve in (("plain", plain), ("cached", cached),
+                        ("degraded", degraded)):
+        for p in curve.points:
+            table.add_row(
+                name,
+                f"{p.offered_qps:7.2f}",
+                f"{p.achieved_qps:7.2f}",
+                f"{p.goodput_fraction:6.3f}",
+                f"{p.shed_rate * 100:5.1f}",
+                f"{p.p50_s * 1e3:8.2f}",
+                f"{p.p99_s * 1e3:8.2f}",
+            )
+    return table
+
+
+def test_ext_serving(benchmark):
+    plain, cached, degraded = benchmark.pedantic(
+        run_variants, rounds=1, iterations=1
+    )
+    emit(curves_table(plain, cached, degraded), "ext_serving.txt")
+
+    for curve in (plain, cached, degraded):
+        assert isinstance(curve, ServingCurve)
+        assert curve.achieved_monotone(slack=curve.saturation_qps * 1e-6)
+        assert curve.p99_monotone(slack=1e-9)
+        assert all(p.conserved for p in curve.points)
+
+    # below the knee nothing is shed and achieved tracks offered
+    for p in plain.points[:3]:
+        assert p.shed == 0
+        assert p.achieved_qps == pytest.approx(p.offered_qps, rel=0.05)
+    # past the knee the plain service clips at ~saturation and sheds
+    overload = plain.points[-1]
+    assert overload.achieved_qps <= plain.saturation_qps * 1.05
+    assert overload.shed > 0
+    # the tail rises past the knee
+    assert plain.points[-1].p99_s > 3 * plain.points[0].p99_s
+
+    # the cache is a capacity multiplier: same offered overload, but
+    # hits bypass the scan queue, so more queries complete
+    assert cached.points[-1].hit_rate > 0.3
+    assert (cached.points[-1].goodput_fraction
+            > plain.points[-1].goodput_fraction)
+
+    # dead accelerators halve capacity (2 survivors adopt full stripes)
+    assert degraded.points[-1].achieved_qps < plain.points[-1].achieved_qps

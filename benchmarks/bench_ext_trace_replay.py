@@ -8,7 +8,6 @@ without the query cache — and reports p50/p99 latency and the saturation
 point.
 """
 
-import pytest
 
 from repro.analysis import Table, format_seconds
 from repro.baseline import GpuSsdSystem

@@ -9,7 +9,6 @@ contract a regenerable artifact rather than scattered test assertions:
 * raw SSD sequential-scan bandwidth.
 """
 
-import pytest
 
 from repro.analysis import Table
 from repro.core import DeepStoreSystem, EventQuerySimulator

@@ -6,7 +6,6 @@ level is the most energy-efficient design everywhere (paper: up to
 efficiency, and the SSD level sits lowest (0.7-2.8x in the paper).
 """
 
-import pytest
 
 from repro.analysis import Table, compare_levels
 from repro.workloads import ALL_APPS

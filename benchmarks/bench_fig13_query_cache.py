@@ -9,8 +9,6 @@ Fig.-13 curves: Traditional+QC, DeepStore, and DeepStore+QC, all
 normalized to the Traditional system without a cache.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis import Table
 from repro.baseline import GpuSsdSystem

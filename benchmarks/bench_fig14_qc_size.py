@@ -6,7 +6,6 @@ larger caches reduce the miss rate, but under locality-rich (Zipfian)
 streams the benefit flattens — a small in-DRAM cache suffices.
 """
 
-import pytest
 
 from repro.analysis import Table
 from repro.core.query_cache import (

@@ -8,7 +8,6 @@ the worst channel-level app and TextQA the best, and ReId cannot run at
 the chip level.
 """
 
-import pytest
 
 from repro.analysis import Table, compare_levels
 from repro.baseline import WimpyCoreModel

@@ -7,7 +7,6 @@ levels stay within ~10% at 4x latency because the channel bus, not the
 array, limits a steady scan — so DeepStore works with cheap flash.
 """
 
-import pytest
 
 from repro.analysis import Table
 from repro.baseline import GpuSsdSystem

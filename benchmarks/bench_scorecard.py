@@ -5,9 +5,7 @@ prints the verdict table, and writes ``benchmarks/results/scorecard.json``
 — the single machine-readable record of paper-vs-measured.
 """
 
-import pathlib
 
-import pytest
 
 from repro.analysis.scorecard import build_scorecard
 

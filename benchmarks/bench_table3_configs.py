@@ -9,7 +9,6 @@ design-space search to confirm designs exist under the channel budget.
 from repro.analysis import Table
 from repro.core.dse import search_configurations, validate_placement_power
 from repro.core.placement import CHANNEL_LEVEL, CHIP_LEVEL, SSD_LEVEL
-from repro.energy import CactiLite
 from repro.ssd import SsdConfig
 
 from conftest import emit
@@ -20,7 +19,6 @@ PLACEMENTS = {"SSD-level": SSD_LEVEL, "Channel-level": CHANNEL_LEVEL,
 
 def build_tables():
     ssd = SsdConfig()
-    cacti = CactiLite()
     table = Table(
         "Table 3: accelerator configurations",
         ["Level", "Dataflow", "PEs", "Freq(MHz)", "Scratchpad", "Area mm^2 (paper)",

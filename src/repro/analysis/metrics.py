@@ -11,7 +11,7 @@ These are the quantities of paper Table 4 / Fig. 8 / Fig. 11:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List, Optional
 
 from repro.baseline.system import GpuSsdSystem, QueryCost
 from repro.core.deepstore import DeepStoreSystem, QueryLatency

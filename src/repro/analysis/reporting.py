@@ -6,7 +6,7 @@ and figures report; :class:`Table` keeps the formatting consistent.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
 
 def format_si(value: float, unit: str = "", precision: int = 2) -> str:

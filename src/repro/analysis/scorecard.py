@@ -14,7 +14,7 @@ Volta/Pascal compute gap, latency insensitivity, cache benefit ratio).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.metrics import compare_levels

@@ -12,7 +12,7 @@ Fig. 2 reports the three components' shares of total execution time;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.baseline.gpu import GpuModel, GpuSpec, VOLTA_TITAN_V
@@ -124,7 +124,6 @@ class GpuSsdSystem:
         if n_features <= 0:
             raise ValueError("n_features must be positive")
         bd = self.batch_breakdown(app, batch)
-        n_batches = -(-n_features // bd.batch)
         seconds = bd.pipelined_total_s * (n_features / bd.batch)
         power = (
             self.gpu_spec.power_w

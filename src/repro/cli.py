@@ -12,6 +12,7 @@ Small, self-contained runners over the library for the common questions:
 ``faults``     fault-injected queries and a reliability report
 ``trace``      run one traced query; emit Chrome trace JSON + breakdown
 ``profile``    busiest-resource occupancy and idle-gap analysis
+``serve``      open-loop serving: offered-load sweep or perf scorecard
 ``demo``       a real end-to-end query with planted neighbors
 =============  ==========================================================
 """
@@ -353,6 +354,119 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve an open-loop query stream; print the load-latency curve.
+
+    Deterministic in ``--seed`` and the config flags: the same command
+    reproduces the same curve byte for byte.  ``--scorecard --json``
+    emits the canonical machine-readable perf scorecard CI gates on.
+    """
+    import json
+
+    from repro.analysis.reporting import ascii_series
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.serving import (
+        ServingConfig,
+        build_serving_scorecard,
+        curve_table,
+        drop_timeline,
+        queue_depth_timeline,
+        serving_metrics_snapshot,
+        sweep_offered_load,
+    )
+    from repro.workloads import QueryStream, get_app
+
+    if args.scorecard:
+        # always machine-readable: this is the artifact CI gates on
+        print(json.dumps(build_serving_scorecard(), indent=2, sort_keys=True))
+        return 0
+
+    config = ServingConfig(
+        app=args.app,
+        features=args.features,
+        queue_bound=args.queue_bound,
+        policy=args.policy,
+        deadline_s=args.deadline_ms * 1e-3 if args.deadline_ms else None,
+        max_batch=args.max_batch,
+        n_servers=args.servers,
+        cache_entries=args.cache_entries,
+        cache_threshold=args.threshold,
+        failed_accels=tuple(
+            int(token) for token in args.fail_accels.split(",") if token.strip()
+        ),
+        fidelity=args.fidelity,
+    )
+    stream = None
+    if config.cache_entries > 0:
+        app = get_app(args.app)
+        stream = QueryStream(
+            dim=min(256, app.feature_floats),
+            n_intents=args.intents,
+            distribution="zipf",
+            alpha=0.8,
+            paraphrase_noise=0.05,
+            seed=args.seed,
+        )
+    qps_points = None
+    if args.qps is not None:
+        qps_points = [args.qps]
+    elif not args.qps_sweep:
+        qps_points = None  # defaults to the saturation-relative ladder
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    try:
+        curve = sweep_offered_load(
+            config,
+            n_queries=args.queries,
+            seed=args.seed,
+            qps_points=qps_points,
+            stream=stream,
+            metrics=metrics,
+            tracer=tracer,
+        )
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({
+            "config": {
+                "app": config.app,
+                "features": config.features,
+                "queue_bound": config.queue_bound,
+                "policy": config.policy,
+                "max_batch": config.max_batch,
+                "n_servers": config.n_servers,
+                "cache_entries": config.cache_entries,
+                "failed_accels": list(config.failed_accels),
+                "seed": args.seed,
+                "queries": args.queries,
+            },
+            "curve": curve.as_dict(),
+            "metrics": serving_metrics_snapshot(metrics),
+        }, indent=2, sort_keys=True))
+        return 0
+    curve_table(curve).print()
+    depth = queue_depth_timeline(tracer, bins=args.bins)
+    drops = drop_timeline(tracer, bins=args.bins)
+    if depth:
+        print(f"\nqueue depth  {ascii_series(depth, width=args.bins)} "
+              f"(top offered load; sweep peak "
+              f"{max(p.queue_peak for p in curve.points)})")
+    if any(drops):
+        drop_bar = ascii_series([float(d) for d in drops], width=args.bins)
+        print(f"drops/bin    {drop_bar} "
+              f"(top offered load; {sum(drops)} drops)")
+    knee = curve.knee_index()
+    if knee < len(curve.points):
+        print(f"\nknee: goodput first drops below 1.0 at "
+              f"{curve.points[knee].offered_qps:.2f} offered qps "
+              f"(saturation ~{curve.saturation_qps:.2f} qps)")
+    else:
+        print(f"\nno saturation within the sweep "
+              f"(saturation ~{curve.saturation_qps:.2f} qps)")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import DeepStoreDevice
     from repro.analysis import format_seconds
@@ -466,6 +580,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_obs_args(profile)
 
+    serve = sub.add_parser(
+        "serve", help="open-loop serving sweep / perf scorecard"
+    )
+    serve.add_argument("--app", default="tir",
+                       choices=["reid", "mir", "estp", "tir", "textqa"])
+    serve.add_argument("--features", type=int, default=400_000,
+                       help="database size in feature vectors")
+    serve.add_argument("--queries", type=int, default=240,
+                       help="queries per sweep point")
+    serve.add_argument("--qps", type=float, default=None,
+                       help="one offered load instead of a sweep")
+    serve.add_argument("--qps-sweep", action="store_true",
+                       help="sweep offered load around saturation (default)")
+    serve.add_argument("--queue-bound", type=int, default=32,
+                       help="admission queue bound")
+    serve.add_argument("--policy", default="reject",
+                       choices=["reject", "drop-oldest", "deadline"],
+                       help="load-shedding policy")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="staleness bound for the deadline policy")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="largest shared-scan batch")
+    serve.add_argument("--servers", type=int, default=1,
+                       help="independent scan backends")
+    serve.add_argument("--cache-entries", type=int, default=0,
+                       help="query-cache entries (0 = no cache)")
+    serve.add_argument("--threshold", type=float, default=0.10,
+                       help="query-cache error threshold")
+    serve.add_argument("--intents", type=int, default=200,
+                       help="distinct query intents (cache streams)")
+    serve.add_argument("--fail-accels", default="",
+                       help="comma-separated accelerator indices to kill")
+    serve.add_argument("--fidelity", default="analytic",
+                       choices=["analytic", "event"],
+                       help="batch cost model fidelity")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--bins", type=int, default=40,
+                       help="timeline resolution")
+    serve.add_argument("--scorecard", action="store_true",
+                       help="emit the canonical CI perf scorecard (JSON)")
+    serve.add_argument("--json", action="store_true")
+
     demo = sub.add_parser("demo", help="end-to-end functional query")
     demo.add_argument("--app", default="tir",
                       choices=["reid", "mir", "estp", "tir", "textqa"])
@@ -488,6 +644,7 @@ COMMANDS = {
     "faults": _cmd_faults,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
     "demo": _cmd_demo,
 }
 

@@ -22,13 +22,13 @@ Method names follow Python conventions; each maps 1:1 to a Table-2 call
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.deepstore import DeepStoreSystem, QueryLatency
-from repro.core.placement import LEVELS, CHANNEL_LEVEL
+from repro.core.placement import LEVELS
 from repro.core.query_cache import EmbeddingComparator, QueryCache
 from repro.nn import Graph, graph_from_bytes
 from repro.ssd.ftl import DatabaseMetadata
@@ -150,7 +150,6 @@ class DeepStoreDevice:
                 f"feature size {features.shape[1] * 4} does not match "
                 f"database {db_id}'s {meta.feature_bytes} bytes"
             )
-        pages_before = meta.total_pages
         self.ssd.ftl.append(db_id, features.shape[0])
         self._feature_store[db_id] = np.concatenate(
             [self._feature_store[db_id], features]

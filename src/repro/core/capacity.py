@@ -13,7 +13,7 @@ latency/utilization — or the closest-miss plan flagged infeasible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.deepstore import DeepStoreSystem

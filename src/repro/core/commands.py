@@ -26,8 +26,8 @@ SET_QC     0xC6   threshold, capacity, accuracy
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -15,7 +15,6 @@ Two explorations drive DeepStore's accelerator sizing:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 

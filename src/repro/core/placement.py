@@ -22,8 +22,7 @@ channel's accelerator, and therefore run weight-stationary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.nn.graph import Graph
 from repro.ssd.timing import SsdConfig

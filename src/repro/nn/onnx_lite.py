@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, List, Tuple
+from typing import List
 
 import numpy as np
 
-from repro.nn.graph import Graph, Node
+from repro.nn.graph import Graph
 from repro.nn.layers import OP_REGISTRY
 
 MAGIC = b"DSONNX01"

@@ -1,0 +1,91 @@
+"""Timelines and tables for serving runs.
+
+The server emits queue-depth instants, shed instants, and backend
+occupancy spans onto an :class:`~repro.obs.Tracer`; this module turns
+those raw records into the two timelines the ISSUE's operators read —
+queue depth over time and drops per interval — plus the rendered
+throughput-latency table for the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.reporting import Table
+from repro.obs.tracer import Tracer
+from repro.serving.sweep import ServingCurve
+
+
+def queue_depth_timeline(
+    tracer: Tracer, bins: int = 40
+) -> List[float]:
+    """Mean queue depth per time bin, from ``serving.queue`` instants.
+
+    Each instant carries the post-operation depth; bins average the
+    samples that land in them (empty bins inherit the previous bin's
+    last value, so the series reads as a step function).
+    """
+    samples: List[Tuple[float, int]] = [
+        (i.time, int((i.args or {}).get("depth", 0)))
+        for i in tracer.instants
+        if i.cat == "serving.queue"
+    ]
+    if not samples or bins <= 0:
+        return []
+    end = max(t for t, _ in samples)
+    if end <= 0:
+        return [float(samples[-1][1])] * bins
+    width = end / bins
+    series: List[float] = []
+    last = 0.0
+    for b in range(bins):
+        lo, hi = b * width, (b + 1) * width
+        in_bin = [
+            d for t, d in samples
+            if lo <= t < hi or (b == bins - 1 and t == end)
+        ]
+        if in_bin:
+            last = sum(in_bin) / len(in_bin)
+        series.append(last)
+    return series
+
+
+def drop_timeline(tracer: Tracer, bins: int = 40) -> List[int]:
+    """Shed queries per time bin, from ``serving.shed`` instants."""
+    times = [i.time for i in tracer.instants if i.cat == "serving.shed"]
+    if bins <= 0:
+        return []
+    if not times:
+        return [0] * bins
+    end = max(max(times), 1e-12)
+    counts = [0] * bins
+    for t in times:
+        index = min(int(t / end * bins), bins - 1)
+        counts[index] += 1
+    return counts
+
+
+def curve_table(curve: ServingCurve) -> Table:
+    """Render a sweep as the CLI's throughput-latency table."""
+    table = Table(
+        f"Serving curve: {curve.app} "
+        f"(saturation ~{curve.saturation_qps:.2f} qps)",
+        [
+            "offered", "achieved", "goodput", "shed%", "hit%",
+            "batch", "p50", "p99", "p999", "util%",
+        ],
+    )
+    for p in curve.points:
+        table.add_row(
+            f"{p.offered_qps:7.2f}",
+            f"{p.achieved_qps:7.2f}",
+            f"{p.goodput_fraction:6.3f}",
+            f"{p.shed_rate * 100:5.1f}",
+            f"{p.hit_rate * 100:5.1f}",
+            f"{p.mean_batch:5.2f}",
+            f"{p.p50_s * 1e3:8.2f}ms",
+            f"{p.p99_s * 1e3:8.2f}ms",
+            f"{p.p999_s * 1e3:8.2f}ms",
+            f"{p.utilization * 100:5.1f}",
+        )
+    return table

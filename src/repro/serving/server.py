@@ -1,0 +1,447 @@
+"""The discrete-event query server.
+
+:class:`QueryServer` turns the per-query cost models into a *service*:
+an open-loop arrival schedule plays against a bounded admission queue,
+a batch former, and ``n_servers`` scan backends (one DeepStore device
+each), all on one :class:`~repro.sim.Simulator` timeline.  The life of
+a query:
+
+1. **arrive** — the arrival event fires at its scheduled time;
+2. **cache lookup** (when a query cache is configured and the arrival
+   carries a QFV) — the similarity lookup costs
+   ``entries × lookup_seconds_per_entry``; a hit re-ranks the cached
+   top-K and completes **without ever touching the admission queue**
+   (the paper's Algorithm-1 fast path, which is what makes the cache a
+   capacity multiplier and not just a latency win);
+3. **admission** — a miss is offered to the bounded queue; the
+   configured policy decides who is shed under overload;
+4. **batch + scan** — an idle backend pops the head-of-line batch
+   (same-app prefix run, FIFO within priority class) and holds the
+   device for the shared-scan service time;
+5. **complete** — per-query latency is arrival-to-completion; the
+   result is inserted into the cache so later similar queries hit.
+
+Every step feeds :class:`~repro.obs.MetricsRegistry` instruments and
+(optionally) :class:`~repro.obs.Tracer` timelines — queue depth and
+sheds as instants, backend occupancy as complete spans — without
+perturbing simulated time.  With the same config, arrivals, and seed
+the result is bit-identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.deepstore import DeepStoreSystem
+from repro.core.engine import DispatchPolicy
+from repro.core.query_cache import EmbeddingComparator, QueryCache
+from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.tracer import Tracer
+from repro.serving.admission import AdmissionQueue, QueuedQuery
+from repro.serving.arrivals import ArrivalEvent, offered_qps_of
+from repro.serving.batcher import BatchCostModel, BatchPolicy
+from repro.sim import Simulator
+from repro.ssd import Ssd
+from repro.workloads.apps import AppSpec, get_app
+
+#: per-entry QCN lookup cost (paper §6.5: 0.3 ms for a 1 K-entry cache)
+CACHE_LOOKUP_SECONDS_PER_ENTRY = 0.3e-6
+
+
+@dataclass
+class ServingConfig:
+    """Everything that defines one serving scenario."""
+
+    app: str = "tir"
+    #: database size in feature vectors
+    features: int = 1_000_000
+    #: admission-queue bound (queries)
+    queue_bound: int = 64
+    #: shedding policy: ``reject`` / ``drop-oldest`` / ``deadline``
+    policy: str = "reject"
+    #: staleness bound for the ``deadline`` policy
+    deadline_s: Optional[float] = None
+    #: largest shared-scan batch
+    max_batch: int = 8
+    #: independent scan backends (devices)
+    n_servers: int = 1
+    #: query-cache entries; 0 disables the cache
+    cache_entries: int = 0
+    #: Algorithm-1 error threshold for the cache
+    cache_threshold: float = 0.10
+    #: dead channel accelerators (degraded-mode remapping)
+    failed_accels: Tuple[int, ...] = ()
+    #: batch cost fidelity: ``analytic`` or ``event``-calibrated
+    fidelity: str = "analytic"
+
+    def __post_init__(self) -> None:
+        if self.features <= 0:
+            raise ValueError("features must be positive")
+        if self.n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        if self.cache_entries < 0:
+            raise ValueError("cache_entries cannot be negative")
+
+
+@dataclass
+class ServingResult:
+    """Measured outcome of one serving run at one offered load."""
+
+    app: str
+    offered_qps: float
+    achieved_qps: float
+    duration_s: float
+    arrived: int
+    admitted: int
+    completed: int
+    cache_hits: int
+    rejected: int
+    evicted: int
+    expired: int
+    mean_latency_s: float
+    p50_s: float
+    p99_s: float
+    p999_s: float
+    max_latency_s: float
+    mean_wait_s: float
+    mean_batch: float
+    utilization: float
+    queue_peak: int
+
+    @property
+    def shed(self) -> int:
+        """Queries offered but never served."""
+        return self.rejected + self.evicted + self.expired
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.arrived if self.arrived else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.arrived if self.arrived else 0.0
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Completed / offered — 1.0 below saturation."""
+        return self.completed / self.arrived if self.arrived else 0.0
+
+    @property
+    def conserved(self) -> bool:
+        """Every arrival is accounted for exactly once."""
+        return self.arrived == self.completed + self.shed
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (stable keys, scalar values)."""
+        return {
+            "app": self.app,
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "duration_s": self.duration_s,
+            "arrived": self.arrived,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "mean_latency_s": self.mean_latency_s,
+            "p50_s": self.p50_s,
+            "p99_s": self.p99_s,
+            "p999_s": self.p999_s,
+            "mean_wait_s": self.mean_wait_s,
+            "mean_batch": self.mean_batch,
+            "utilization": self.utilization,
+            "queue_peak": self.queue_peak,
+        }
+
+
+class QueryServer:
+    """Open-loop serving simulation over one device configuration."""
+
+    def __init__(
+        self,
+        config: ServingConfig,
+        system: Optional[DeepStoreSystem] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        dispatch_policy: Optional[DispatchPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.app: AppSpec = get_app(config.app)
+        self.system = system or DeepStoreSystem.at_level("channel")
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        self.meta = Ssd(self.system.ssd).ftl.create_database(
+            self.app.feature_bytes, config.features
+        )
+        self.graph = self.app.build_scn()
+        self.cost = BatchCostModel(
+            self.app,
+            self.meta,
+            system=self.system,
+            policy=BatchPolicy(config.max_batch),
+            graph=self.graph,
+            failed_accels=config.failed_accels,
+            dispatch_policy=dispatch_policy,
+            fidelity=config.fidelity,
+        )
+        # cache fast path: per-entry QCN lookup plus a top-K re-rank on
+        # the SCN, all without occupying a scan backend
+        self.cache: Optional[QueryCache] = None
+        if config.cache_entries > 0:
+            self.cache = QueryCache(
+                capacity=config.cache_entries,
+                comparator=EmbeddingComparator(),
+                qcn_accuracy=self.app.qcn_accuracy,
+                threshold=config.cache_threshold,
+            )
+        k = self.system.k
+        accel = self.system.accelerator_for(self.graph)
+        self.hit_seconds = (
+            k * accel.compute_seconds_per_feature(max(1, k))
+            + self.system.engine.query_overhead_seconds(1, k)
+        )
+        self.lookup_seconds_per_entry = CACHE_LOOKUP_SECONDS_PER_ENTRY
+
+    # ------------------------------------------------------------------
+    def saturation_qps(self) -> float:
+        """Peak sustainable scan throughput (cache hits excluded)."""
+        return self.cost.saturation_qps(self.config.n_servers)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        arrivals: Sequence[ArrivalEvent],
+        tracer: Optional[Tracer] = None,
+    ) -> ServingResult:
+        """Play an arrival schedule to completion; return the measures.
+
+        ``tracer`` overrides the server's tracer for this run (each run
+        restarts simulated time at zero, so timelines from separate
+        runs should not share one tracer).
+        """
+        if not arrivals:
+            raise ValueError("empty arrival schedule")
+        config = self.config
+        if tracer is None:
+            tracer = self.tracer
+        elif not tracer.enabled:
+            tracer = None
+        sim = Simulator(tracer=tracer)
+        queue = AdmissionQueue(
+            config.queue_bound, config.policy, config.deadline_s
+        )
+        metrics = self.metrics
+        queue_track = (
+            tracer.track("serving", "queue") if tracer is not None else None
+        )
+        shed_track = (
+            tracer.track("serving", "sheds") if tracer is not None else None
+        )
+        server_tracks = (
+            [
+                tracer.track("serving", f"server {i}")
+                for i in range(config.n_servers)
+            ]
+            if tracer is not None
+            else None
+        )
+
+        idle: List[int] = list(range(config.n_servers))
+        latencies: List[float] = []
+        waits: List[float] = []
+        batch_sizes: List[int] = []
+        class _RunState:
+            cache_hits = 0
+            completed = 0
+            busy_s = 0.0
+            queue_peak = 0
+            last_completion = 0.0
+
+        state = _RunState()
+
+        def note_depth() -> None:
+            depth = queue.depth
+            if depth > state.queue_peak:
+                state.queue_peak = depth
+            if metrics is not None:
+                metrics.gauge("serving.queue_depth").set(float(depth))
+            if tracer is not None:
+                tracer.instant(
+                    queue_track, "depth", sim.now,
+                    cat="serving.queue", args={"depth": depth},
+                )
+
+        def note_shed() -> None:
+            for query, reason in queue.take_shed():
+                if metrics is not None:
+                    metrics.counter("serving.shed").inc()
+                    metrics.counter(f"serving.shed_{reason}").inc()
+                if tracer is not None:
+                    tracer.instant(
+                        shed_track, reason, sim.now,
+                        cat="serving.shed", args={"qid": query.qid},
+                    )
+
+        def complete_query(query: QueuedQuery, now: float) -> None:
+            latency = now - query.arrival_s + query.penalty_s
+            latencies.append(latency)
+            state.completed += 1
+            state.last_completion = max(state.last_completion, now)
+            if metrics is not None:
+                metrics.counter("serving.completed").inc()
+                metrics.histogram("serving.latency_s").observe(latency)
+            if self.cache is not None and query.qfv is not None:
+                ids = np.arange(self.system.k, dtype=np.int64)
+                self.cache.insert(
+                    query.qfv,
+                    np.zeros(self.system.k, dtype=np.float32),
+                    ids,
+                )
+
+        def dispatch() -> None:
+            while idle and queue.depth > 0:
+                batch = queue.pop_batch(sim.now, self.cost.max_batch)
+                note_shed()
+                note_depth()
+                if not batch:
+                    return
+                server = idle.pop(0)
+                service = self.cost.service_seconds(len(batch))
+                start = sim.now
+                batch_sizes.append(len(batch))
+                state.busy_s += service
+                for query in batch:
+                    wait = start - query.arrival_s
+                    waits.append(wait)
+                    if metrics is not None:
+                        metrics.histogram("serving.wait_s").observe(wait)
+                if metrics is not None:
+                    metrics.histogram(
+                        "serving.batch_size",
+                        bounds=list(range(1, self.cost.max_batch + 1)),
+                    ).observe(len(batch))
+                if tracer is not None and server_tracks is not None:
+                    tracer.complete(
+                        server_tracks[server],
+                        f"batch x{len(batch)}",
+                        start,
+                        service,
+                        cat="serving.batch",
+                        args={"n": len(batch)},
+                    )
+
+                def finish(
+                    server: int = server, batch: List[QueuedQuery] = batch
+                ) -> None:
+                    for query in batch:
+                        complete_query(query, sim.now)
+                    idle.append(server)
+                    idle.sort()
+                    dispatch()
+
+                sim.schedule_after(service, finish, label="batch-done")
+
+        def admit(event: ArrivalEvent, qid: int, penalty_s: float) -> None:
+            query = QueuedQuery(
+                qid=qid,
+                arrival_s=sim.now - penalty_s,
+                priority=event.priority,
+                compat=event.compat,
+                penalty_s=0.0,
+                intent=event.intent,
+                qfv=event.qfv,
+            )
+            admitted = queue.offer(query, sim.now)
+            note_shed()
+            note_depth()
+            if admitted:
+                if metrics is not None:
+                    metrics.counter("serving.admitted").inc()
+                dispatch()
+
+        def arrive(event: ArrivalEvent, qid: int) -> None:
+            if metrics is not None:
+                metrics.counter("serving.arrived").inc()
+            if self.cache is not None and event.qfv is not None:
+                lookup = self.cache.lookup(event.qfv)
+                lookup_s = (
+                    lookup.entries_scanned * self.lookup_seconds_per_entry
+                )
+                if lookup.hit:
+                    # Algorithm-1 fast path: re-rank the cached top-K,
+                    # never touching the admission queue or a backend
+                    def hit_done() -> None:
+                        latency = lookup_s + self.hit_seconds
+                        latencies.append(latency)
+                        state.cache_hits += 1
+                        state.completed += 1
+                        state.last_completion = max(
+                            state.last_completion, sim.now
+                        )
+                        if metrics is not None:
+                            metrics.counter("serving.cache_hits").inc()
+                            metrics.counter("serving.completed").inc()
+                            metrics.histogram(
+                                "serving.latency_s"
+                            ).observe(latency)
+
+                    sim.schedule_after(
+                        lookup_s + self.hit_seconds, hit_done,
+                        label="cache-hit",
+                    )
+                    return
+                # the miss pays the lookup before it can join the queue
+                sim.schedule_after(
+                    lookup_s,
+                    lambda: admit(event, qid, lookup_s),
+                    label="admit",
+                )
+                return
+            admit(event, qid, 0.0)
+
+        for qid, event in enumerate(arrivals):
+            sim.schedule(
+                event.time_s,
+                lambda event=event, qid=qid: arrive(event, qid),
+                label="arrival",
+            )
+        sim.run()
+
+        first_arrival = arrivals[0].time_s
+        span = max(state.last_completion - first_arrival, 0.0)
+        counters = queue.counters
+        n_served = len(latencies)
+        return ServingResult(
+            app=self.app.name,
+            offered_qps=offered_qps_of(list(arrivals)),
+            achieved_qps=state.completed / span if span > 0 else 0.0,
+            duration_s=span,
+            arrived=len(arrivals),
+            admitted=counters.admitted,
+            completed=state.completed,
+            cache_hits=state.cache_hits,
+            rejected=counters.rejected,
+            evicted=counters.evicted,
+            expired=counters.expired,
+            mean_latency_s=(
+                sum(latencies) / n_served if n_served else 0.0
+            ),
+            p50_s=percentile(latencies, 50) if latencies else 0.0,
+            p99_s=percentile(latencies, 99) if latencies else 0.0,
+            p999_s=percentile(latencies, 99.9) if latencies else 0.0,
+            max_latency_s=max(latencies) if latencies else 0.0,
+            mean_wait_s=sum(waits) / len(waits) if waits else 0.0,
+            mean_batch=(
+                sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
+            ),
+            utilization=(
+                state.busy_s / (config.n_servers * span)
+                if span > 0
+                else 0.0
+            ),
+            queue_peak=state.queue_peak,
+        )

@@ -10,7 +10,6 @@ event-driven port (a shared :class:`~repro.sim.Resource`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.sim import Resource, Simulator

@@ -20,11 +20,11 @@ controller) are provided; tests check they agree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.sim import Simulator
 from repro.ssd.controller import ChannelController
-from repro.ssd.geometry import PhysicalPageAddress, SsdGeometry
+from repro.ssd.geometry import PhysicalPageAddress
 from repro.ssd.timing import SsdConfig
 
 POLICIES = ("preempt", "share", "host-priority")

@@ -136,7 +136,6 @@ class Ssd:
         for access in pending:
             per_channel[access.address.channel].append(access)
         start = self.sim.now
-        remaining = [len(lst) for lst in per_channel]
         done_pages = 0
 
         def make_issuer(channel_idx: int):

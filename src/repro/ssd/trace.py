@@ -12,7 +12,7 @@ live on its channel).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 from repro.ssd.ftl import DatabaseMetadata
 from repro.ssd.geometry import PhysicalPageAddress, SsdGeometry

@@ -22,7 +22,6 @@ Mapping rules (paper §4.3/§4.5):
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 

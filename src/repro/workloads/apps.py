@@ -11,7 +11,7 @@ matches its Table-1 row within 10%.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 from repro.nn import Graph, GraphBuilder

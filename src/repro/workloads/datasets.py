@@ -23,7 +23,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
-from repro.workloads.apps import AppSpec, get_app
+from repro.workloads.apps import get_app
 
 
 @dataclass

@@ -13,8 +13,8 @@ vectors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List
 
 import numpy as np
 

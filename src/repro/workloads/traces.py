@@ -20,11 +20,11 @@ from __future__ import annotations
 import io
 import json
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List
 
 import numpy as np
 
-from repro.workloads.queries import QueryRecord, QueryStream
+from repro.workloads.queries import QueryStream
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,6 @@ import pytest
 from repro.analysis.scorecard import (
     PAPER_ENERGY,
     PAPER_SPEEDUP,
-    Scorecard,
     ScorecardCell,
     build_scorecard,
 )

@@ -173,3 +173,63 @@ class TestObservabilityCommands:
     def test_trace_rejects_bad_app(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "--app", "nope"])
+
+
+class TestServe:
+    SMALL = ["serve", "--features", "50000", "--queries", "40"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.app == "tir"
+        assert args.features == 400_000
+        assert args.queue_bound == 32
+        assert args.policy == "reject"
+        assert not args.scorecard
+
+    def test_parser_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "yolo"])
+
+    def test_sweep_prints_curve_and_knee(self, capsys):
+        assert main(self.SMALL + ["--qps-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "offered" in out
+        assert "p99" in out
+        assert "queue depth" in out
+        assert "saturation" in out
+
+    def test_sweep_deterministic(self, capsys):
+        assert main(self.SMALL + ["--qps-sweep", "--seed", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.SMALL + ["--qps-sweep", "--seed", "3"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_json_curve(self, capsys):
+        import json
+
+        assert main(self.SMALL + ["--qps", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["app"] == "tir"
+        points = payload["curve"]["points"]
+        assert len(points) == 1
+        assert points[0]["arrived"] == 40
+        assert payload["metrics"]["serving.arrived"] == 40
+
+    def test_single_qps_point(self, capsys):
+        assert main(self.SMALL + ["--qps", "2"]) == 0
+        assert "no saturation" in capsys.readouterr().out
+
+    def test_deadline_policy_flags(self, capsys):
+        assert main(self.SMALL + [
+            "--policy", "deadline", "--deadline-ms", "200", "--qps-sweep",
+        ]) == 0
+        assert "offered" in capsys.readouterr().out
+
+    def test_fail_accels_flag(self, capsys):
+        import json
+
+        assert main(self.SMALL + [
+            "--fail-accels", "0,1", "--qps", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["failed_accels"] == [0, 1]

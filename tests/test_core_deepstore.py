@@ -7,7 +7,7 @@ bandwidth scaling of Fig. 10, and the analytic/event-driven agreement.
 
 import pytest
 
-from repro.analysis import compare_levels, evaluate_level
+from repro.analysis import compare_levels
 from repro.baseline import GpuSsdSystem
 from repro.core import DeepStoreSystem, InStorageAccelerator
 from repro.core.placement import CHANNEL_LEVEL, CHIP_LEVEL, SSD_LEVEL

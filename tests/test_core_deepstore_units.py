@@ -3,9 +3,7 @@
 import pytest
 
 from repro.core import DeepStoreSystem, QueryLatency
-from repro.core.placement import CHANNEL_LEVEL, CHIP_LEVEL, SSD_LEVEL
 from repro.energy import EnergyBreakdown
-from repro.ssd import Ssd, SsdConfig
 from repro.ssd.ftl import DatabaseMetadata
 from repro.workloads import get_app
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core import CHANNEL_LEVEL, CHIP_LEVEL, LEVELS, SSD_LEVEL
 from repro.core.engine import EngineCosts, QueryEngine
 from repro.core.placement import AcceleratorPlacement, UnsupportedModelError
-from repro.ssd import SsdConfig
 from repro.systolic import SystolicConfig
 from repro.workloads import get_app
 

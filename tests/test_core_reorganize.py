@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.reorganize import (
-    ClusteredLayout,
     ReorganizeError,
     ReorganizedSearch,
     build_layout,

@@ -1,6 +1,5 @@
 """Tests for the hardware top-K sorter and the merge step."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.reliability import (
-    ReliabilityReport,
-    percentile,
-    run_reliability_trial,
-)
+from repro.analysis.reliability import percentile, run_reliability_trial
 from repro.core.api import DeepStoreApiError, DeepStoreDevice
 from repro.core.engine import DispatchPolicy, QueryEngine
 from repro.core.event_query import EventQuerySimulator

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import DeepStoreSystem
 from repro.core.scheduler import MultiQueryScheduler
-from repro.ssd import Ssd, SsdConfig
+from repro.ssd import SsdConfig
 from repro.ssd.host_io import (
     HostIoWorkload,
     InterferenceModel,

@@ -17,7 +17,7 @@ from repro.nn.quantization import (
     quantize_graph,
 )
 from repro.nn.training import make_pair_dataset
-from repro.ssd import Ssd, SsdConfig
+from repro.ssd import Ssd
 from repro.workloads import get_app
 
 

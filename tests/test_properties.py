@@ -7,7 +7,6 @@ inequalities intact.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.nn import GraphBuilder, graph_from_bytes, graph_to_bytes

@@ -1,7 +1,6 @@
 """Property-based tests over the runtime pieces (cache, commands, FTL)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.commands import Command, OPCODES

@@ -1,0 +1,157 @@
+"""Admission-queue unit tests: bound, policies, batching, conservation."""
+
+import pytest
+
+from repro.serving import POLICIES, AdmissionQueue, QueuedQuery
+
+
+def q(qid, t=0.0, priority=0, compat="a"):
+    return QueuedQuery(qid=qid, arrival_s=t, priority=priority, compat=compat)
+
+
+class TestConstruction:
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(4, policy="fifo-ish")
+
+    def test_deadline_policy_needs_deadline(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(4, policy="deadline")
+
+    def test_deadline_only_for_deadline_policy(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(4, policy="reject", deadline_s=1.0)
+
+    def test_policies_constant(self):
+        assert POLICIES == ("reject", "drop-oldest", "deadline")
+
+
+class TestRejectPolicy:
+    def test_bound_enforced(self):
+        queue = AdmissionQueue(3)
+        results = [queue.offer(q(i, t=i * 0.1), now=i * 0.1)
+                   for i in range(5)]
+        assert results == [True, True, True, False, False]
+        assert queue.depth == 3
+        assert queue.counters.rejected == 2
+        assert queue.counters.conserved(queue.depth)
+
+    def test_rejected_newcomers_logged(self):
+        queue = AdmissionQueue(1)
+        queue.offer(q(0), now=0.0)
+        queue.offer(q(1), now=0.1)
+        shed = queue.take_shed()
+        assert [(s.qid, reason) for s, reason in shed] == [(1, "rejected")]
+        assert queue.take_shed() == []  # drained
+
+
+class TestDropOldestPolicy:
+    def test_evicts_oldest_of_least_important_class(self):
+        queue = AdmissionQueue(2, policy="drop-oldest")
+        queue.offer(q(0, priority=1), now=0.0)
+        queue.offer(q(1, priority=1), now=0.1)
+        assert queue.offer(q(2, priority=0), now=0.2)
+        shed = queue.take_shed()
+        assert [(s.qid, r) for s, r in shed] == [(0, "evicted")]
+        assert queue.counters.evicted == 1
+        assert queue.counters.conserved(queue.depth)
+
+    def test_never_evicts_more_important_class(self):
+        queue = AdmissionQueue(2, policy="drop-oldest")
+        queue.offer(q(0, priority=0), now=0.0)
+        queue.offer(q(1, priority=0), now=0.1)
+        # newcomer is class 1: both residents are class 0 — reject it
+        assert not queue.offer(q(2, priority=1), now=0.2)
+        assert queue.counters.rejected == 1
+        assert queue.counters.evicted == 0
+        assert {x.qid for c in queue._classes.values() for x in c} == {0, 1}
+
+    def test_same_class_evicts_oldest(self):
+        queue = AdmissionQueue(2, policy="drop-oldest")
+        queue.offer(q(0), now=0.0)
+        queue.offer(q(1), now=0.1)
+        assert queue.offer(q(2), now=0.2)
+        assert queue.pop(0.3).qid == 1
+
+
+class TestDeadlinePolicy:
+    def test_expires_overdue_queries(self):
+        queue = AdmissionQueue(8, policy="deadline", deadline_s=1.0)
+        queue.offer(q(0, t=0.0), now=0.0)
+        queue.offer(q(1, t=0.9), now=0.9)
+        popped = queue.pop(now=1.5)   # q0 is 1.5s old -> expired
+        assert popped.qid == 1
+        assert queue.counters.expired == 1
+        assert [(s.qid, r) for s, r in queue.take_shed()] == [
+            (0, "expired")
+        ]
+        assert queue.counters.conserved(queue.depth)
+
+    def test_fresh_queries_survive(self):
+        queue = AdmissionQueue(8, policy="deadline", deadline_s=2.0)
+        queue.offer(q(0, t=0.0), now=0.0)
+        assert queue.pop(now=1.0).qid == 0
+        assert queue.counters.expired == 0
+
+
+class TestPopOrder:
+    def test_priority_classes_pop_lowest_first(self):
+        queue = AdmissionQueue(8)
+        queue.offer(q(0, priority=2), now=0.0)
+        queue.offer(q(1, priority=0), now=0.1)
+        queue.offer(q(2, priority=1), now=0.2)
+        assert [queue.pop(1.0).qid for _ in range(3)] == [1, 2, 0]
+
+    def test_fifo_within_class(self):
+        queue = AdmissionQueue(8)
+        for i in range(5):
+            queue.offer(q(i), now=i * 0.01)
+        assert [queue.pop(1.0).qid for _ in range(5)] == list(range(5))
+
+    def test_pop_empty(self):
+        assert AdmissionQueue(4).pop(0.0) is None
+        assert AdmissionQueue(4).pop_batch(0.0, 4) == []
+
+
+class TestPopBatch:
+    def test_coalesces_compatible_prefix(self):
+        queue = AdmissionQueue(8)
+        for i, compat in enumerate(["a", "a", "a", "b", "a"]):
+            queue.offer(q(i, compat=compat), now=i * 0.01)
+        batch = queue.pop_batch(1.0, max_batch=8)
+        # only the contiguous same-compat prefix: the "b" at index 3
+        # fences off the trailing "a"
+        assert [x.qid for x in batch] == [0, 1, 2]
+        assert [x.qid for x in queue.pop_batch(1.0, 8)] == [3]
+        assert [x.qid for x in queue.pop_batch(1.0, 8)] == [4]
+
+    def test_respects_max_batch(self):
+        queue = AdmissionQueue(16)
+        for i in range(6):
+            queue.offer(q(i), now=0.0)
+        assert len(queue.pop_batch(1.0, max_batch=4)) == 4
+        assert len(queue.pop_batch(1.0, max_batch=4)) == 2
+
+    def test_does_not_cross_priority_classes(self):
+        queue = AdmissionQueue(8)
+        queue.offer(q(0, priority=0, compat="a"), now=0.0)
+        queue.offer(q(1, priority=1, compat="a"), now=0.1)
+        batch = queue.pop_batch(1.0, max_batch=8)
+        assert [x.qid for x in batch] == [0]
+
+    def test_counts_every_pop(self):
+        queue = AdmissionQueue(8)
+        for i in range(4):
+            queue.offer(q(i), now=0.0)
+        queue.pop_batch(1.0, max_batch=3)
+        queue.pop_batch(1.0, max_batch=3)
+        assert queue.counters.popped == 4
+        assert queue.counters.conserved(queue.depth)
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(4).pop_batch(0.0, 0)

@@ -1,0 +1,110 @@
+"""Arrival-process tests: determinism, rate, rescaling, priorities."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    offered_qps_of,
+    poisson_arrivals,
+    trace_arrivals,
+)
+from repro.workloads import QueryStream
+from repro.workloads.traces import capture_trace
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_seed(self):
+        a = poisson_arrivals(100, 10.0, seed=3)
+        b = poisson_arrivals(100, 10.0, seed=3)
+        assert [e.time_s for e in a] == [e.time_s for e in b]
+
+    def test_seed_changes_schedule(self):
+        a = poisson_arrivals(100, 10.0, seed=3)
+        b = poisson_arrivals(100, 10.0, seed=4)
+        assert [e.time_s for e in a] != [e.time_s for e in b]
+
+    def test_mean_rate_near_offered(self):
+        events = poisson_arrivals(4000, 25.0, seed=0)
+        assert offered_qps_of(events) == pytest.approx(25.0, rel=0.1)
+
+    def test_times_strictly_increasing(self):
+        times = [e.time_s for e in poisson_arrivals(500, 50.0, seed=1)]
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_timing_only_without_stream(self):
+        event = poisson_arrivals(5, 1.0, seed=0)[0]
+        assert event.qfv is None
+        assert event.intent == -1
+
+    def test_stream_attaches_queries(self):
+        stream = QueryStream(dim=16, n_intents=4, seed=0)
+        events = poisson_arrivals(8, 1.0, seed=0, stream=stream)
+        for event in events:
+            assert isinstance(event.qfv, np.ndarray)
+            assert event.qfv.shape == (16,)
+            assert 0 <= event.intent < 4
+
+    def test_priority_mapping_and_compat(self):
+        events = poisson_arrivals(
+            6, 1.0, seed=0, compat="tir", priority_of=lambda i: i % 2
+        )
+        assert [e.priority for e in events] == [0, 1, 0, 1, 0, 1]
+        assert all(e.compat == "tir" for e in events)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 0.0)
+
+
+class TestTraceArrivals:
+    def _trace(self, qps=20.0, n=200):
+        stream = QueryStream(dim=8, n_intents=4, seed=5)
+        return capture_trace(stream, n, qps, app="tir", seed=5)
+
+    def test_preserves_trace_timing_by_default(self):
+        trace = self._trace()
+        events = trace_arrivals(trace)
+        assert [e.time_s for e in events] == [
+            q.arrival_s for q in trace.queries
+        ]
+        assert all(e.compat == "tir" for e in events)
+
+    def test_rescales_to_target_rate(self):
+        trace = self._trace(qps=20.0)
+        events = trace_arrivals(trace, target_qps=5.0)
+        assert offered_qps_of(events) == pytest.approx(5.0, rel=0.05)
+
+    def test_rescaling_preserves_gap_shape(self):
+        trace = self._trace(qps=20.0)
+        slow = trace_arrivals(trace, target_qps=5.0)
+        orig = [q.arrival_s for q in trace.queries]
+        gaps_orig = np.diff(orig)
+        gaps_slow = np.diff([e.time_s for e in slow])
+        ratios = gaps_slow / gaps_orig
+        assert ratios == pytest.approx(
+            np.full_like(ratios, ratios[0]), rel=1e-6
+        )
+
+    def test_carries_query_content(self):
+        trace = self._trace(n=10)
+        events = trace_arrivals(trace)
+        for event, q in zip(events, trace.queries):
+            assert event.intent == q.intent
+            assert np.array_equal(event.qfv, q.qfv)
+
+    def test_empty_trace(self):
+        from repro.workloads.traces import QueryTrace
+
+        assert trace_arrivals(QueryTrace(app="tir")) == []
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            trace_arrivals(self._trace(n=5), target_qps=-1.0)
+
+
+class TestOfferedQps:
+    def test_degenerate_schedules(self):
+        assert offered_qps_of([]) == 0.0
+        assert offered_qps_of(poisson_arrivals(1, 5.0)) == 0.0

@@ -1,0 +1,116 @@
+"""Property-based queueing invariants (ISSUE satellite: hypothesis).
+
+Hypothesis drives :class:`AdmissionQueue` with arbitrary interleavings
+of offers and (batch) pops under every policy, asserting the structural
+invariants the serving layer's correctness rests on:
+
+* **bound** — live depth never exceeds the queue bound;
+* **conservation** — ``offered == admitted + rejected`` and
+  ``admitted == popped + evicted + expired + depth`` after every op;
+* **FIFO within a priority class** — queries of one class are served
+  in admission order (batch coalescing must never reorder them);
+* **priority** — a pop never returns a class when a more important
+  (lower-numbered) class has an older resident... more precisely, each
+  pop returns the most important nonempty class at that instant.
+"""
+
+import collections
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serving import AdmissionQueue, QueuedQuery
+
+# an operation is either an offer (priority, compat) or a pop (max_batch)
+offers = st.tuples(
+    st.just("offer"),
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from(["a", "b"]),
+)
+pops = st.tuples(st.just("pop"), st.integers(min_value=1, max_value=4),
+                 st.just(""))
+op_lists = st.lists(st.one_of(offers, pops), min_size=1, max_size=60)
+bounds = st.integers(min_value=1, max_value=8)
+policies = st.sampled_from(["reject", "drop-oldest", "deadline"])
+gaps = st.lists(st.floats(min_value=0.0, max_value=0.5,
+                          allow_nan=False), min_size=0, max_size=60)
+
+
+def drive(queue, ops, time_gaps):
+    """Run an op sequence; return per-class admit and serve orders."""
+    admitted_order = collections.defaultdict(list)
+    served_order = collections.defaultdict(list)
+    now = 0.0
+    for i, (kind, arg, compat) in enumerate(ops):
+        now += time_gaps[i % len(time_gaps)] if time_gaps else 0.1
+        if kind == "offer":
+            query = QueuedQuery(qid=i, arrival_s=now, priority=arg,
+                                compat=compat)
+            if queue.offer(query, now):
+                admitted_order[arg].append(i)
+        else:
+            batch = queue.pop_batch(now, max_batch=arg)
+            if batch:
+                classes = {q.priority for q in batch}
+                assert len(classes) == 1, "a batch never spans classes"
+                nonempty = [p for p, dq in queue._classes.items() if dq]
+                assert all(batch[0].priority <= p for p in nonempty), (
+                    "pop must serve the most important nonempty class"
+                )
+            for q in batch:
+                served_order[q.priority].append(q.qid)
+        # shed queries leave the admitted record: they were revoked
+        for query, reason in queue.take_shed():
+            if reason in ("evicted", "expired"):
+                admitted_order[query.priority].remove(query.qid)
+        assert len(queue) <= queue.bound, "depth exceeded the bound"
+        assert queue.counters.conserved(queue.depth), (
+            f"conservation broken: {queue.counters} depth={queue.depth}"
+        )
+    return admitted_order, served_order
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=op_lists, bound=bounds, policy=policies, time_gaps=gaps)
+def test_queue_invariants(ops, bound, policy, time_gaps):
+    deadline_s = 1.0 if policy == "deadline" else None
+    queue = AdmissionQueue(bound, policy, deadline_s)
+    admitted_order, served_order = drive(queue, ops, time_gaps)
+
+    # FIFO within each priority class: the served sequence must be a
+    # prefix-respecting subsequence = exactly the surviving admits in
+    # admission order
+    for priority, served in served_order.items():
+        assert served == sorted(served), (
+            f"class {priority} served out of admission order: {served}"
+        )
+        survivors = served + [
+            q.qid for q in queue._classes.get(priority, [])
+        ]
+        assert survivors == admitted_order[priority], (
+            f"class {priority}: served+queued != admitted in order"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=op_lists, bound=bounds)
+def test_reject_policy_never_revokes(ops, bound):
+    """Under ``reject``, an admission is a promise: no evict/expire."""
+    queue = AdmissionQueue(bound, "reject")
+    drive(queue, ops, [0.1])
+    assert queue.counters.evicted == 0
+    assert queue.counters.expired == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=op_lists, bound=bounds, policy=policies)
+def test_drain_completes_everything_admitted(ops, bound, policy):
+    """After draining, popped + shed accounts for every admission."""
+    deadline_s = 1e9 if policy == "deadline" else None
+    queue = AdmissionQueue(bound, policy, deadline_s)
+    drive(queue, ops, [0.05])
+    while queue.pop(now=1e6) is not None:
+        pass
+    c = queue.counters
+    assert queue.depth == 0
+    assert c.admitted == c.popped + c.evicted + c.expired
+    assert c.offered == c.popped + c.shed

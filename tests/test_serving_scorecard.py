@@ -1,0 +1,112 @@
+"""Perf-gate comparator tests: flatten, tolerance band, drift detection."""
+
+import copy
+
+import pytest
+
+from repro.serving import Drift, compare_scorecards, flatten
+
+
+SAMPLE = {
+    "saturation_qps": 25.0,
+    "points": [
+        {"offered_qps": 6.25, "p99_ms": 40.0},
+        {"offered_qps": 12.5, "p99_ms": 55.0},
+    ],
+    "app": "tir",
+    "counts": {"queries": 240},
+}
+
+
+class TestFlatten:
+    def test_dotted_keys_and_indices(self):
+        flat = flatten(SAMPLE)
+        assert flat["saturation_qps"] == 25.0
+        assert flat["points[0].offered_qps"] == 6.25
+        assert flat["points[1].p99_ms"] == 55.0
+        assert flat["app"] == "tir"
+        assert flat["counts.queries"] == 240
+
+    def test_only_scalar_leaves(self):
+        for value in flatten(SAMPLE).values():
+            assert not isinstance(value, (dict, list, tuple))
+
+    def test_scalar_roundtrip(self):
+        assert flatten(3.5, "x") == {"x": 3.5}
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        assert compare_scorecards(SAMPLE, copy.deepcopy(SAMPLE)) == []
+
+    def test_within_tolerance_passes(self):
+        current = copy.deepcopy(SAMPLE)
+        current["saturation_qps"] = 25.0 * 1.09   # +9% < 10%
+        assert compare_scorecards(SAMPLE, current, tolerance=0.10) == []
+
+    def test_beyond_tolerance_fails(self):
+        current = copy.deepcopy(SAMPLE)
+        current["saturation_qps"] = 25.0 * 1.2    # +20% > 10%
+        drifts = compare_scorecards(SAMPLE, current, tolerance=0.10)
+        assert [d.key for d in drifts] == ["saturation_qps"]
+        assert drifts[0].status == "regressed"
+        assert drifts[0].ratio == pytest.approx(1.2)
+
+    def test_nested_leaf_drift_detected(self):
+        current = copy.deepcopy(SAMPLE)
+        current["points"][1]["p99_ms"] = 55.0 * 0.8   # -20%
+        drifts = compare_scorecards(SAMPLE, current)
+        assert [d.key for d in drifts] == ["points[1].p99_ms"]
+
+    def test_atol_shields_near_zero_leaves(self):
+        base = {"shed_rate": 0.0}
+        current = {"shed_rate": 1e-12}   # infinite relative drift
+        assert compare_scorecards(base, current) == []
+
+    def test_non_numeric_must_match_exactly(self):
+        current = copy.deepcopy(SAMPLE)
+        current["app"] = "reid"
+        drifts = compare_scorecards(SAMPLE, current)
+        assert drifts[0].status == "changed"
+
+    def test_missing_and_unexpected_keys(self):
+        current = copy.deepcopy(SAMPLE)
+        del current["counts"]
+        current["extra"] = 1
+        statuses = {d.key: d.status for d in
+                    compare_scorecards(SAMPLE, current)}
+        assert statuses["counts.queries"] == "missing"
+        assert statuses["extra"] == "unexpected"
+
+    def test_worst_drift_sorts_first(self):
+        current = copy.deepcopy(SAMPLE)
+        current["saturation_qps"] = 25.0 * 1.15     # +15%
+        current["points"][0]["p99_ms"] = 40.0 * 3.0  # 3x
+        drifts = compare_scorecards(SAMPLE, current)
+        assert drifts[0].key == "points[0].p99_ms"
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            compare_scorecards(SAMPLE, SAMPLE, tolerance=-0.1)
+
+    def test_drift_to_dict_roundtrip(self):
+        d = Drift("k", 2.0, 3.0, "regressed")
+        assert d.to_dict() == {
+            "key": "k", "baseline": 2.0, "current": 3.0,
+            "ratio": 1.5, "status": "regressed",
+        }
+
+
+class TestBuiltScorecard:
+    def test_scorecard_deterministic_and_complete(self):
+        from repro.serving import build_serving_scorecard
+
+        a = build_serving_scorecard(features=60_000, n_queries=60)
+        b = build_serving_scorecard(features=60_000, n_queries=60)
+        assert a == b                       # bit-identical rebuild
+        assert compare_scorecards(a, b) == []
+        flat = flatten(a)
+        assert "saturation_qps" in flat
+        assert "cached.hit_rate" in flat
+        assert "degraded.load_factor" in flat
+        assert any(k.startswith("points[") for k in flat)

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.ssd import Ssd, SsdConfig, SsdGeometry
+from repro.ssd import Ssd, SsdConfig
 from repro.ssd.trace import scan_trace, stripe_feature_count, stripe_page_count
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.api import DeepStoreDevice
-from repro.ssd import Ssd, SsdConfig
 from repro.ssd.gc import PageMappedFtl
 from repro.ssd.timing import FlashTiming
 

@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 
 from repro.workloads import get_app
-from repro.workloads.datasets import (
-    DATASET_BUILDERS,
-    SyntheticDataset,
-    make_dataset,
-)
+from repro.workloads.datasets import DATASET_BUILDERS, make_dataset
 
 
 class TestBuilders:

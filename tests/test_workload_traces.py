@@ -4,13 +4,7 @@ import numpy as np
 import pytest
 
 from repro.workloads import QueryStream
-from repro.workloads.traces import (
-    LatencyDistribution,
-    QueryTrace,
-    TracedQuery,
-    capture_trace,
-    replay_trace,
-)
+from repro.workloads.traces import QueryTrace, capture_trace, replay_trace
 
 
 def make_stream(**kw):
