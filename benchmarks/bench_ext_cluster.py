@@ -1,0 +1,118 @@
+"""Extension: shard-count scaling of the multi-SSD cluster.
+
+The paper evaluates one DeepStore SSD; deployments shard the feature
+database across many.  This bench sweeps shard counts over a fixed
+dataset with :class:`ClusterModel` (the analytic cluster: closed-form
+per-shard latency under the same hedged scatter DES as the functional
+path) and asserts the scaling shape: speedup grows with shards but
+sub-linearly (the scatter/gather overhead and the slowest-shard
+barrier), the coordinator's overhead fraction stays tiny, failover
+adds only the detection ladder, and hedging caps stragglers.
+"""
+
+from repro.analysis import Table
+from repro.cluster import ClusterConfig, ClusterModel
+from repro.workloads import get_app
+
+from conftest import emit
+
+APP = "tir"
+FEATURES = 4_000_000
+K = 10
+SEED = 7
+SHARD_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def run_scaling():
+    app = get_app(APP)
+    rows = []
+    for shards in SHARD_COUNTS:
+        est = ClusterModel(
+            ClusterConfig(n_shards=shards, seed=SEED)
+        ).estimate(app, FEATURES, k=K)
+        rows.append(est)
+    return rows
+
+
+def run_degraded():
+    app = get_app(APP)
+    failover = ClusterModel(
+        ClusterConfig(n_shards=8, n_replicas=2, seed=SEED,
+                      fail_shards=((0, 0), (3, 0)))
+    ).estimate(app, FEATURES, k=K)
+    straggled = ClusterModel(
+        ClusterConfig(n_shards=8, n_replicas=2, seed=SEED + 9,
+                      straggler_spread=3.0)
+    ).estimate(app, FEATURES, k=K)
+    hedged = ClusterModel(
+        ClusterConfig(n_shards=8, n_replicas=2, seed=SEED + 9,
+                      straggler_spread=3.0, hedge_fraction=1.25)
+    ).estimate(app, FEATURES, k=K)
+    return failover, straggled, hedged
+
+
+def scaling_table(rows):
+    table = Table(
+        f"Extension: cluster shard scaling ({APP}, {FEATURES / 1e6:.0f}M "
+        f"features, K={K})",
+        ["shards", "query ms", "speedup", "efficiency", "overhead%",
+         "merge cmp", "util"],
+    )
+    for est in rows:
+        overhead = est.scatter_seconds + est.gather_seconds
+        table.add_row(
+            f"{est.n_contacted:4d}",
+            f"{est.seconds * 1e3:9.2f}",
+            f"{est.speedup_vs_single:6.2f}x",
+            f"{est.speedup_vs_single / est.n_contacted:6.3f}",
+            f"{overhead / est.seconds * 100:7.4f}",
+            f"{est.merge.comparisons:6d}",
+            f"{est.utilization:5.3f}",
+        )
+    return table
+
+
+def degraded_table(failover, straggled, hedged):
+    table = Table(
+        "Extension: cluster degraded modes (8 shards x 2 replicas)",
+        ["scenario", "query ms", "failovers", "hedges", "wins"],
+    )
+    for name, est in (("2 dead primaries", failover),
+                      ("stragglers <=4x", straggled),
+                      ("... + hedge @1.25x", hedged)):
+        table.add_row(
+            name,
+            f"{est.seconds * 1e3:9.2f}",
+            f"{est.failovers:4d}",
+            f"{est.hedges_launched:4d}",
+            f"{est.hedge_wins:4d}",
+        )
+    return table
+
+
+def test_ext_cluster_scaling(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    emit(scaling_table(rows), "ext_cluster_scaling.txt")
+
+    assert rows[0].speedup_vs_single == 1.0
+    speedups = [est.speedup_vs_single for est in rows]
+    assert speedups == sorted(speedups)  # more shards never slower
+    for est in rows:
+        # sub-linear but close: the barrier + coordinator overhead
+        assert 0.5 < est.speedup_vs_single / est.n_contacted <= 1.0
+        overhead = est.scatter_seconds + est.gather_seconds
+        assert overhead / est.seconds < 0.02
+
+
+def test_ext_cluster_degraded():
+    failover, straggled, hedged = run_degraded()
+    emit(degraded_table(failover, straggled, hedged),
+         "ext_cluster_degraded.txt")
+
+    # read-spread picks replica (shard % 2) as primary: only shard 0's
+    # dead copy is actually in the failover path; shard 3's is dormant
+    assert failover.failovers == 1
+    assert hedged.hedges_launched > 0
+    assert hedged.hedge_wins >= 1
+    # hedging buys back straggler makespan, and never makes it worse
+    assert hedged.makespan_seconds < straggled.makespan_seconds

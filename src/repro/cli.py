@@ -13,6 +13,7 @@ Small, self-contained runners over the library for the common questions:
 ``trace``      run one traced query; emit Chrome trace JSON + breakdown
 ``profile``    busiest-resource occupancy and idle-gap analysis
 ``serve``      open-loop serving: offered-load sweep or perf scorecard
+``cluster``    sharded multi-SSD scatter-gather queries / perf scorecard
 ``demo``       a real end-to-end query with planted neighbors
 =============  ==========================================================
 """
@@ -467,6 +468,137 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fail_shards(text: str):
+    """``"0,3:1"`` -> ((0, 0), (3, 1)): shard or shard:replica tokens."""
+    specs = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if ":" in token:
+            shard, replica = token.split(":", 1)
+            specs.append((int(shard), int(replica)))
+        else:
+            specs.append(int(token))
+    return tuple(specs)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Scatter-gather queries over a sharded, replicated cluster.
+
+    Deterministic in ``--seed`` and the config flags: the same command
+    reproduces the same output byte for byte.  ``--scorecard`` emits
+    the canonical machine-readable cluster scorecard CI gates on.
+    """
+    import json
+
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterError,
+        DeepStoreCluster,
+        build_cluster_scorecard,
+        cluster_metrics_snapshot,
+    )
+    from repro.obs import MetricsRegistry
+    from repro.workloads import get_app, plant_neighbors, train_scn
+
+    if args.scorecard:
+        # always machine-readable: this is the artifact CI gates on
+        print(json.dumps(build_cluster_scorecard(), indent=2, sort_keys=True))
+        return 0
+
+    app = get_app(args.app)
+    try:
+        config = ClusterConfig(
+            n_shards=args.shards,
+            n_replicas=args.replicas,
+            placement=args.placement,
+            level=args.level,
+            seed=args.seed,
+            hedge_fraction=args.hedge if args.hedge > 0 else None,
+            straggler_spread=args.straggler,
+            fail_shards=_parse_fail_shards(args.fail_shards),
+        )
+    except (ClusterError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rng = np.random.default_rng(args.seed)
+    features = rng.normal(0, 1, (args.features, app.feature_floats)).astype(
+        np.float32
+    )
+    intent = rng.normal(0, 1, app.feature_floats).astype(np.float32)
+    features, planted = plant_neighbors(
+        features, intent, k=args.k // 2 or 1, noise=0.2, seed=args.seed + 1
+    )
+    metrics = MetricsRegistry()
+    cluster = DeepStoreCluster(config, metrics=metrics)
+    try:
+        db = cluster.write_db(features)
+        model = cluster.load_graph(train_scn(app, seed=args.seed))
+        if args.cache_threshold > 0:
+            cluster.set_qc(args.cache_threshold)
+        results = []
+        for q in range(args.queries):
+            qfv = intent + rng.normal(0, 0.2, app.feature_floats).astype(
+                np.float32
+            )
+            results.append(cluster.query(qfv, args.k, model, db))
+    except ClusterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    placement = cluster.placement_of(db)
+    if args.json:
+        print(json.dumps({
+            "config": {
+                "app": args.app,
+                "features": args.features,
+                "k": args.k,
+                "queries": args.queries,
+                "seed": args.seed,
+                "shards": config.n_shards,
+                "replicas": config.n_replicas,
+                "placement": config.placement,
+                "level": config.level,
+                "dead_replicas": [list(d) for d in config.dead_replicas()],
+                "hedge_fraction": config.hedge_fraction,
+                "straggler_spread": config.straggler_spread,
+            },
+            "shard_sizes": list(placement.shard_sizes),
+            "queries": [r.to_dict() for r in results],
+            "metrics": cluster_metrics_snapshot(metrics),
+        }, indent=2, sort_keys=True))
+        return 0
+
+    print(f"cluster: {config.describe()}")
+    print(f"placement: {placement.strategy}, shard sizes "
+          f"{list(placement.shard_sizes)} "
+          f"(imbalance {placement.imbalance:.2f}x)")
+    recall_hits = 0
+    for q, result in enumerate(results):
+        recall_hits += len(
+            set(result.feature_ids.tolist()) & set(planted.tolist())
+        )
+        flags = []
+        if result.failovers:
+            flags.append(f"{result.failovers} failover(s)")
+        if result.hedges_launched:
+            flags.append(
+                f"{result.hedges_launched} hedge(s), {result.hedge_wins} won"
+            )
+        if result.cache_hit:
+            flags.append("cache hit")
+        extra = f" [{', '.join(flags)}]" if flags else ""
+        print(f"query {q}: {result.seconds * 1e3:8.3f} ms "
+              f"(scatter {result.scatter_seconds * 1e6:6.2f} us, "
+              f"slowest shard {result.makespan_seconds * 1e3:7.3f} ms, "
+              f"gather {result.gather_seconds * 1e6:6.2f} us, "
+              f"{result.merge.comparisons} cmp){extra}")
+    total_planted = len(planted) * len(results)
+    print(f"recall of planted neighbors: {recall_hits}/{total_planted}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import DeepStoreDevice
     from repro.analysis import format_seconds
@@ -622,6 +754,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the canonical CI perf scorecard (JSON)")
     serve.add_argument("--json", action="store_true")
 
+    cluster = sub.add_parser(
+        "cluster", help="sharded scatter-gather queries / perf scorecard"
+    )
+    cluster.add_argument("--app", default="tir",
+                         choices=["reid", "mir", "estp", "tir", "textqa"])
+    cluster.add_argument("--features", type=int, default=20_000,
+                         help="total dataset size in feature vectors")
+    cluster.add_argument("--shards", type=int, default=4,
+                         help="dataset partitions (one SSD group each)")
+    cluster.add_argument("--replicas", type=int, default=1,
+                         help="replica SSDs per shard")
+    cluster.add_argument("--placement", default="range",
+                         choices=["range", "hash", "locality"],
+                         help="shard placement strategy")
+    cluster.add_argument("--level", default="channel",
+                         choices=["ssd", "channel", "chip"],
+                         help="accelerator level inside every shard SSD")
+    cluster.add_argument("--k", type=int, default=10, help="global top-K")
+    cluster.add_argument("--queries", type=int, default=3)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--fail-shards", default="",
+                         help="dead replicas: comma-separated shard or "
+                              "shard:replica tokens (e.g. '0,3:1')")
+    cluster.add_argument("--hedge", type=float, default=0.0,
+                         help="hedge fraction (>0 enables hedged requests)")
+    cluster.add_argument("--straggler", type=float, default=0.0,
+                         help="deterministic replica straggler spread")
+    cluster.add_argument("--cache-threshold", type=float, default=0.0,
+                         help="setQC threshold on every shard (0 = off)")
+    cluster.add_argument("--scorecard", action="store_true",
+                         help="emit the canonical CI perf scorecard (JSON)")
+    cluster.add_argument("--json", action="store_true")
+
     demo = sub.add_parser("demo", help="end-to-end functional query")
     demo.add_argument("--app", default="tir",
                       choices=["reid", "mir", "estp", "tir", "textqa"])
@@ -645,6 +810,7 @@ COMMANDS = {
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "demo": _cmd_demo,
 }
 

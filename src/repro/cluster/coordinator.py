@@ -1,0 +1,402 @@
+"""The sharded cluster: N partitions x R replica SSDs + a coordinator.
+
+:class:`DeepStoreCluster` is the multi-device analogue of
+:class:`~repro.core.api.DeepStoreDevice`: functional (real numpy
+retrieval over partitioned feature arrays) *and* timed (every query
+carries the modelled scatter/compute/gather cost).  Each (shard,
+replica) pair is a full simulated DeepStore SSD running its existing
+SCN pipeline; the coordinator:
+
+1. **scatters** the query to every non-empty shard, picking each
+   shard's primary replica by read-spread rotation and failing over
+   (one detection ladder per corpse) when replicas are dead;
+2. optionally **hedges**: a backup replica launches when the primary
+   has been outstanding ``hedge_fraction`` x its healthy latency, and
+   the first completion wins (the loser is cancelled, never merged);
+3. **gathers** the per-shard top-K lists into the exact global top-K
+   with the streaming K-way merge of :mod:`repro.core.topk`.
+
+**Parity contract**: a 1-shard, 1-replica cluster returns bit-identical
+ids/scores to a standalone device over the same features, and its
+end-to-end seconds equal the device's ``seconds_to_host`` exactly —
+the scatter charge (per shard beyond the first), the gather charge
+(per heap comparison), and the straggler factor all degenerate to
+zero/identity.  The differential suite enforces this per accelerator
+level, with and without the query cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig, ClusterError
+from repro.cluster.placement import ShardPlacement, make_placement
+from repro.cluster.scatter import ReplicaAttempt, ShardJob, run_scatter
+from repro.core.api import DeepStoreDevice, QueryResult
+from repro.core.topk import KWayMergeStats, kway_merge_topk, topk_select
+from repro.nn import Graph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.ssd.timing import SsdConfig
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One shard's share of a cluster query."""
+
+    shard: int
+    #: replica whose result was merged
+    replica: int
+    #: completion time of this shard's leg (detection + compute + DMA)
+    seconds: float
+    detect_seconds: float
+    failovers: int
+    hedged: bool
+    hedge_won: bool
+    cache_hit: bool
+    k_returned: int
+
+
+@dataclass
+class ClusterQueryResult:
+    """Global top-K plus the full scatter-gather cost breakdown."""
+
+    feature_ids: np.ndarray  # global ids into the cluster dataset
+    scores: np.ndarray  # best first
+    #: end-to-end: scatter + slowest shard + gather
+    seconds: float
+    scatter_seconds: float
+    gather_seconds: float
+    #: completion time of the slowest shard leg
+    makespan_seconds: float
+    n_contacted: int
+    merge: KWayMergeStats
+    shards: List[ShardReport]
+
+    @property
+    def k(self) -> int:
+        return len(self.feature_ids)
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when every contacted shard answered from its cache."""
+        return bool(self.shards) and all(s.cache_hit for s in self.shards)
+
+    @property
+    def hedges_launched(self) -> int:
+        return sum(1 for s in self.shards if s.hedged)
+
+    @property
+    def hedge_wins(self) -> int:
+        return sum(1 for s in self.shards if s.hedge_won)
+
+    @property
+    def failovers(self) -> int:
+        return sum(s.failovers for s in self.shards)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view (stable key order via sort_keys dumps)."""
+        return {
+            "feature_ids": [int(i) for i in self.feature_ids],
+            "scores": [round(float(s), 6) for s in self.scores],
+            "seconds": self.seconds,
+            "scatter_seconds": self.scatter_seconds,
+            "gather_seconds": self.gather_seconds,
+            "makespan_seconds": self.makespan_seconds,
+            "n_contacted": self.n_contacted,
+            "merge_comparisons": self.merge.comparisons,
+            "failovers": self.failovers,
+            "hedges_launched": self.hedges_launched,
+            "hedge_wins": self.hedge_wins,
+            "cache_hit": self.cache_hit,
+            "shards": [
+                {
+                    "shard": s.shard,
+                    "replica": s.replica,
+                    "seconds": s.seconds,
+                    "failovers": s.failovers,
+                    "hedged": s.hedged,
+                    "hedge_won": s.hedge_won,
+                    "cache_hit": s.cache_hit,
+                }
+                for s in self.shards
+            ],
+        }
+
+
+class DeepStoreCluster:
+    """N shards x R replicas of simulated DeepStore SSDs, coordinated."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        ssd: Optional[SsdConfig] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or ClusterConfig()
+        self.tracer = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
+        self.metrics = metrics
+        cfg = self.config
+        self.devices: Dict[Tuple[int, int], DeepStoreDevice] = {
+            (shard, replica): DeepStoreDevice(
+                ssd=ssd, level=cfg.level, seed=cfg.seed
+            )
+            for shard in range(cfg.n_shards)
+            for replica in range(cfg.n_replicas)
+        }
+        #: cluster db id -> placement
+        self._placements: Dict[int, ShardPlacement] = {}
+        #: cluster db id -> {(shard, replica): device db id}
+        self._db_map: Dict[int, Dict[Tuple[int, int], int]] = {}
+        #: cluster model id -> {(shard, replica): device model id}
+        self._model_map: Dict[int, Dict[Tuple[int, int], int]] = {}
+        self._next_db_id = 1
+        self._next_model_id = 1
+        self._query_seq = 0
+        self._coord_track = (
+            self.tracer.track("cluster", "coordinator")
+            if self.tracer is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # ingest / models / cache
+    # ------------------------------------------------------------------
+    def write_db(self, features: np.ndarray) -> int:
+        """Partition an (N, dim) feature array across the shards.
+
+        Every replica of a shard stores an identical copy of that
+        shard's slice; empty shards (more shards than features) simply
+        hold no database and are never contacted.
+        """
+        features = np.asarray(features, dtype=np.float32)
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise ClusterError("features must be a non-empty (N, dim) array")
+        placement = make_placement(
+            self.config.placement,
+            features.shape[0],
+            self.config.n_shards,
+            features=features if self.config.placement == "locality" else None,
+            seed=self.config.seed,
+        )
+        db_id = self._next_db_id
+        self._next_db_id += 1
+        per_device: Dict[Tuple[int, int], int] = {}
+        for shard, owners in enumerate(placement.owners):
+            if len(owners) == 0:
+                continue
+            slice_ = np.ascontiguousarray(features[owners])
+            for replica in range(self.config.n_replicas):
+                per_device[(shard, replica)] = self.devices[
+                    (shard, replica)
+                ].write_db(slice_)
+        self._placements[db_id] = placement
+        self._db_map[db_id] = per_device
+        return db_id
+
+    def placement_of(self, db_id: int) -> ShardPlacement:
+        """The shard placement of one cluster database."""
+        placement = self._placements.get(db_id)
+        if placement is None:
+            raise ClusterError(f"unknown cluster database id {db_id}")
+        return placement
+
+    def load_graph(self, graph: Graph) -> int:
+        """Register a model on every replica SSD."""
+        model_id = self._next_model_id
+        self._next_model_id += 1
+        self._model_map[model_id] = {
+            key: device.load_graph(graph)
+            for key, device in self.devices.items()
+        }
+        return model_id
+
+    def set_qc(self, threshold: float, **kwargs: Any) -> None:
+        """``setQC`` on every replica SSD (per-device caches)."""
+        for device in self.devices.values():
+            device.set_qc(threshold, **kwargs)
+
+    def fail_accelerator(self, index: int, shard: Optional[int] = None) -> None:
+        """Hard-fail one in-SSD accelerator (all shards, or just one)."""
+        for (s, _r), device in self.devices.items():
+            if shard is None or s == shard:
+                device.fail_accelerator(index)
+
+    # ------------------------------------------------------------------
+    # query
+    # ------------------------------------------------------------------
+    def query(
+        self, qfv: np.ndarray, k: int, model_id: int, db_id: int
+    ) -> ClusterQueryResult:
+        """Scatter one query, gather the exact global top-K."""
+        if k <= 0:
+            raise ClusterError("K must be positive")
+        placement = self.placement_of(db_id)
+        models = self._model_map.get(model_id)
+        if models is None:
+            raise ClusterError(f"unknown cluster model id {model_id}")
+        dbs = self._db_map[db_id]
+        shards = placement.non_empty_shards()
+        seq = self._query_seq
+        self._query_seq += 1
+
+        jobs: List[ShardJob] = []
+        for shard in shards:
+            jobs.append(
+                self._shard_job(shard, seq, qfv, k, models, dbs)
+            )
+        scatter = run_scatter(jobs, tracer=self.tracer, metrics=self.metrics)
+
+        partials: List[List[Tuple[float, int]]] = []
+        reports: List[ShardReport] = []
+        for outcome in scatter.outcomes:
+            result: QueryResult = outcome.payload
+            owners = placement.owners[outcome.shard]
+            pairs = [
+                (float(score), int(owners[int(local)]))
+                for score, local in zip(result.scores, result.feature_ids)
+            ]
+            partials.append(pairs)
+            reports.append(
+                ShardReport(
+                    shard=outcome.shard,
+                    replica=outcome.replica,
+                    seconds=outcome.done_s,
+                    detect_seconds=outcome.detect_s,
+                    failovers=outcome.failovers,
+                    hedged=outcome.hedged,
+                    hedge_won=outcome.hedge_won,
+                    cache_hit=result.cache_hit,
+                    k_returned=len(pairs),
+                )
+            )
+        if len(partials) > 1:
+            # the K-way merge needs canonically ordered partials; for a
+            # single shard the device's own order *is* the answer (the
+            # parity contract), so it passes through untouched
+            partials = [topk_select(p, k) for p in partials]
+        merged, stats = kway_merge_topk(partials, k)
+
+        costs = self.config.costs
+        scatter_s = costs.scatter_seconds(len(shards))
+        gather_s = costs.gather_seconds(stats.comparisons)
+        total = scatter_s + scatter.makespan_s + gather_s
+        if self.tracer is not None:
+            self.tracer.complete(
+                self._coord_track, "scatter", 0.0, scatter_s,
+                cat="cluster.coordinator",
+            )
+            self.tracer.complete(
+                self._coord_track, "gather",
+                scatter_s + scatter.makespan_s, gather_s,
+                cat="cluster.coordinator",
+                args={"comparisons": stats.comparisons},
+            )
+        if self.metrics is not None:
+            self.metrics.histogram("cluster.query_seconds").observe(total)
+            self.metrics.histogram("cluster.scatter_overhead_s").observe(
+                scatter_s
+            )
+            self.metrics.histogram("cluster.gather_overhead_s").observe(
+                gather_s
+            )
+            for report in reports:
+                self.metrics.counter(
+                    f"cluster.shard{report.shard}.queries"
+                ).inc()
+                self.metrics.histogram("cluster.shard_busy_s").observe(
+                    report.seconds
+                )
+        return ClusterQueryResult(
+            feature_ids=np.asarray([fid for _s, fid in merged], dtype=np.int64),
+            scores=np.asarray([s for s, _fid in merged], dtype=np.float32),
+            seconds=total,
+            scatter_seconds=scatter_s,
+            gather_seconds=gather_s,
+            makespan_seconds=scatter.makespan_s,
+            n_contacted=len(shards),
+            merge=stats,
+            shards=reports,
+        )
+
+    # ------------------------------------------------------------------
+    def _shard_job(
+        self,
+        shard: int,
+        seq: int,
+        qfv: np.ndarray,
+        k: int,
+        models: Dict[Tuple[int, int], int],
+        dbs: Dict[Tuple[int, int], int],
+    ) -> ShardJob:
+        cfg = self.config
+        #: read-spread: rotate the primary replica per query *and* per
+        #: shard, so replicas share load instead of replica 0 taking all
+        primary = (seq + shard) % cfg.n_replicas
+        order = [
+            (primary + j) % cfg.n_replicas for j in range(cfg.n_replicas)
+        ]
+        dead = set(cfg.dead_replicas())
+
+        def runner(replica: int):
+            def run() -> Tuple[float, QueryResult]:
+                device = self.devices[(shard, replica)]
+                handle = device.query(
+                    qfv,
+                    k=k,
+                    model_id=models[(shard, replica)],
+                    db_id=dbs[(shard, replica)],
+                )
+                result = device.get_results(handle)
+                seconds = result.seconds_to_host * cfg.replica_slowdown(
+                    shard, replica
+                )
+                return seconds, result
+
+            return run
+
+        attempts: List[ReplicaAttempt] = []
+        hedge_delay: Optional[float] = None
+        first_live: Optional[int] = None
+        for replica in order:
+            alive = (shard, replica) not in dead
+            if alive and first_live is None:
+                first_live = replica
+            attempts.append(
+                ReplicaAttempt(replica=replica, alive=alive, run=runner(replica))
+            )
+        if first_live is None:
+            raise ClusterError(f"shard {shard} has no live replica to serve")
+        if cfg.hedge_fraction is not None and cfg.n_replicas > 1:
+            # the hedge deadline keys off the shard's *healthy* latency,
+            # so a replica straggling beyond hedge_fraction x healthy
+            # gets hedged and a healthy one never does.  The primary's
+            # query runs eagerly here (it runs unconditionally anyway)
+            # to learn that healthy figure; the result is memoized so
+            # the scatter leg charges it exactly once.
+            seconds, result = runner(first_live)()
+            healthy = seconds / cfg.replica_slowdown(shard, first_live)
+            hedge_delay = cfg.hedge_fraction * healthy
+            memoized = (seconds, result)
+            attempts = [
+                ReplicaAttempt(
+                    replica=a.replica,
+                    alive=a.alive,
+                    run=(lambda m=memoized: m)
+                    if a.replica == first_live
+                    else a.run,
+                )
+                for a in attempts
+            ]
+        return ShardJob(
+            shard=shard,
+            attempts=tuple(attempts),
+            detect_seconds=cfg.dispatch_policy.give_up_seconds(),
+            hedge_delay=hedge_delay,
+        )

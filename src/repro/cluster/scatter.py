@@ -1,0 +1,266 @@
+"""Hedged scatter execution over replicated shards.
+
+This is the coordinator's data plane, run as a discrete-event
+simulation on :class:`repro.sim.Simulator` so failover ladders, hedge
+timers, and result cancellation interleave like they would on a real
+host — with the simulator's FIFO same-time tie-break making every run
+bit-deterministic.
+
+Per shard the coordinator walks a **failover ladder**: each dead
+replica tried before a live one costs the dispatch policy's full
+give-up ladder (the coordinator cannot tell "dead" from "slow" until
+the timeouts are exhausted), then the first live replica's query runs.
+If hedging is enabled and a second live replica exists, a **hedge
+timer** arms when the primary launches; if the primary completes
+first the timer is cancelled, otherwise the backup replica's query
+launches and the first completion wins — the loser's completion event
+is cancelled (exercising :meth:`repro.sim.Event.cancel`, which drops
+the losing payload's closure immediately).  Only the winner's payload
+survives, so a hedge can never double-count a shard's candidates.
+
+Replica runners are **lazy callables**: a backup's query only executes
+if its hedge actually fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Simulator
+
+#: a lazily-invoked replica query: () -> (seconds, payload)
+ReplicaRunner = Callable[[], Tuple[float, Any]]
+
+
+@dataclass(frozen=True)
+class ReplicaAttempt:
+    """One replica of one shard, in the coordinator's failover order."""
+
+    replica: int
+    alive: bool
+    #: invoked only if this replica actually launches
+    run: ReplicaRunner
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """Everything the scatter loop needs to serve one shard."""
+
+    shard: int
+    #: failover order; ``attempts[0]`` is the read-spread primary
+    attempts: Tuple[ReplicaAttempt, ...]
+    #: give-up ladder paid per dead replica tried before a live one
+    detect_seconds: float = 0.0
+    #: arm the backup this many seconds after the primary launches
+    #: (``None`` disables hedging for this shard)
+    hedge_delay: Optional[float] = None
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard's scatter leg actually did."""
+
+    shard: int
+    #: replica whose result was used
+    replica: int
+    #: simulated time the winning replica launched
+    start_s: float
+    #: simulated completion time (includes detection + run)
+    done_s: float
+    #: time burned detecting dead replicas before launching
+    detect_s: float = 0.0
+    #: dead replicas skipped before the primary launched
+    failovers: int = 0
+    #: a hedge request was actually launched
+    hedged: bool = False
+    #: ... and it beat the primary
+    hedge_won: bool = False
+    payload: Any = None
+
+
+@dataclass
+class ScatterResult:
+    """All shard outcomes of one scatter round, shard-ordered."""
+
+    outcomes: List[ShardOutcome]
+    #: completion time of the slowest shard (the gather barrier)
+    makespan_s: float
+    hedges_launched: int = 0
+    hedge_wins: int = 0
+    failovers: int = 0
+
+    def payloads(self) -> List[Any]:
+        """Winning payload per shard, shard-ordered."""
+        return [o.payload for o in self.outcomes]
+
+
+class _ShardLeg:
+    """Per-shard state machine wired into the simulator."""
+
+    def __init__(
+        self,
+        job: ShardJob,
+        sim: Simulator,
+        metrics: Optional[MetricsRegistry],
+        track,
+        tracer: Optional[Tracer],
+    ) -> None:
+        self.job = job
+        self.sim = sim
+        self.metrics = metrics
+        self.track = track
+        self.tracer = tracer
+        self.outcome: Optional[ShardOutcome] = None
+        self._events: Dict[int, Any] = {}  # replica -> completion Event
+        self._timer = None
+        self._backup: Optional[ReplicaAttempt] = None
+        self._detect_s = 0.0
+        self._failovers = 0
+        self._hedged = False
+
+    def launch(self) -> None:
+        live: List[ReplicaAttempt] = []
+        for attempt in self.job.attempts:
+            if attempt.alive:
+                live.append(attempt)
+            elif not live:
+                # a dead replica ahead of the primary costs one full
+                # detection ladder before the coordinator moves on
+                self._detect_s += self.job.detect_seconds
+                self._failovers += 1
+        if not live:
+            raise ClusterError(
+                f"shard {self.job.shard} has no live replica to serve"
+            )
+        primary = live[0]
+        start = self._detect_s
+        if self.tracer is not None and self._detect_s > 0.0:
+            self.tracer.complete(
+                self.track, "detect", 0.0, self._detect_s,
+                cat="cluster.detect",
+                args={"failovers": self._failovers},
+            )
+        self._start_replica(primary, start)
+        if self.job.hedge_delay is not None and len(live) > 1:
+            self._backup = live[1]
+            self._timer = self.sim.schedule(
+                start + self.job.hedge_delay,
+                self._fire_hedge,
+                label=f"hedge-timer shard{self.job.shard}",
+            )
+
+    # ------------------------------------------------------------------
+    def _start_replica(self, attempt: ReplicaAttempt, start: float) -> None:
+        seconds, payload = attempt.run()
+        if seconds < 0:
+            raise ClusterError("replica runner returned negative seconds")
+        self._events[attempt.replica] = self.sim.schedule(
+            start + seconds,
+            lambda: self._finish(attempt, start, payload),
+            label=f"shard{self.job.shard} r{attempt.replica} done",
+        )
+        if self.tracer is not None:
+            self.tracer.complete(
+                self.track,
+                f"replica {attempt.replica}",
+                start,
+                seconds,
+                cat="cluster.shard",
+                args={"shard": self.job.shard, "replica": attempt.replica},
+            )
+
+    def _fire_hedge(self) -> None:
+        self._timer = None
+        backup = self._backup
+        assert backup is not None  # guarded at arm time
+        if self.metrics is not None:
+            self.metrics.counter("cluster.hedges_launched").inc()
+        self._hedged = True
+        self._start_replica(backup, self.sim.now)
+
+    def _finish(self, attempt: ReplicaAttempt, start: float, payload: Any) -> None:
+        # the loser's completion (if outstanding) must never run: its
+        # payload closure is released by cancel()
+        for replica, event in self._events.items():
+            if replica != attempt.replica:
+                event.cancel()
+        self._events.clear()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        hedged = self._hedged
+        hedge_won = hedged and self._backup is not None and (
+            attempt.replica == self._backup.replica
+        )
+        if hedge_won and self.metrics is not None:
+            self.metrics.counter("cluster.hedge_wins").inc()
+        self.outcome = ShardOutcome(
+            shard=self.job.shard,
+            replica=attempt.replica,
+            start_s=start,
+            done_s=self.sim.now,
+            detect_s=self._detect_s,
+            failovers=self._failovers,
+            hedged=hedged,
+            hedge_won=hedge_won,
+            payload=payload,
+        )
+
+
+def run_scatter(
+    jobs: Sequence[ShardJob],
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ScatterResult:
+    """Execute one scatter round; returns shard-ordered outcomes.
+
+    All shards launch at simulated time 0 (the serial fan-out cost is
+    the coordinator's, charged separately via
+    :meth:`~repro.cluster.config.CoordinatorCosts.scatter_seconds`).
+    Completion events are scheduled before hedge timers, so a primary
+    finishing exactly at the hedge deadline wins the FIFO tie and no
+    hedge launches — deterministic either way.
+    """
+    if not jobs:
+        raise ClusterError("scatter needs at least one shard job")
+    tracer = tracer if tracer is not None and tracer.enabled else None
+    sim = Simulator(tracer=tracer)
+    legs: List[_ShardLeg] = []
+    for job in jobs:
+        track = (
+            tracer.track("cluster", f"shard {job.shard}")
+            if tracer is not None
+            else None
+        )
+        leg = _ShardLeg(job, sim, metrics, track, tracer)
+        legs.append(leg)
+    # launch in shard order so seq-based ties resolve by shard id
+    for leg in legs:
+        leg.launch()
+    sim.run()
+    outcomes: List[ShardOutcome] = []
+    for leg in legs:
+        if leg.outcome is None:  # pragma: no cover - defensive
+            raise ClusterError(
+                f"shard {leg.job.shard} never completed its scatter leg"
+            )
+        outcomes.append(leg.outcome)
+    outcomes.sort(key=lambda o: o.shard)
+    result = ScatterResult(
+        outcomes=outcomes,
+        makespan_s=max(o.done_s for o in outcomes),
+        hedges_launched=sum(1 for o in outcomes if o.hedged),
+        hedge_wins=sum(1 for o in outcomes if o.hedge_won),
+        failovers=sum(o.failovers for o in outcomes),
+    )
+    if metrics is not None:
+        metrics.counter("cluster.scatters").inc()
+        metrics.counter("cluster.failovers").inc(result.failovers)
+        metrics.histogram("cluster.scatter_makespan_s").observe(
+            result.makespan_s
+        )
+    return result

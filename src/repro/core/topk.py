@@ -15,9 +15,10 @@ update, plus ``log2(K) + shift`` cycles on actual inserts.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from math import ceil, log2
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 
 @dataclass
@@ -119,3 +120,87 @@ def merge_topk(partials: List[List[Tuple[float, int]]], k: int) -> List[Tuple[fl
     merged = [item for partial in partials for item in partial]
     merged.sort(key=lambda pair: (-pair[0], pair[1]))
     return merged[:k]
+
+
+def topk_select(
+    pairs: Sequence[Tuple[float, int]], k: int
+) -> List[Tuple[float, int]]:
+    """Canonical top-K of arbitrary (score, id) pairs.
+
+    The canonical order — score descending, feature id ascending on
+    ties — is the tie-break every layer of the stack agrees on, so a
+    sharded computation and an unsharded one pick the *same* winners
+    even when duplicate scores straddle the K-th place.
+    """
+    if k <= 0:
+        raise ValueError("K must be positive")
+    return sorted(pairs, key=lambda pair: (-pair[0], pair[1]))[:k]
+
+
+@dataclass(frozen=True)
+class KWayMergeStats:
+    """Work accounting of one streaming K-way merge.
+
+    ``heap_ops`` is what the coordinator's cost model charges: each
+    pop/push against the ``lists``-wide heap costs ``log2(lists)``
+    comparisons, and a merge over a single list is free (the degenerate
+    one-shard cluster must add zero hidden cost).
+    """
+
+    lists: int
+    entries_offered: int
+    entries_popped: int
+    heap_ops: int
+
+    @property
+    def comparisons(self) -> int:
+        """Heap comparisons: ``heap_ops * ceil(log2(lists))``."""
+        if self.lists <= 1:
+            return 0
+        return self.heap_ops * ceil(log2(self.lists))
+
+
+def kway_merge_topk(
+    partials: Sequence[Sequence[Tuple[float, int]]], k: int
+) -> Tuple[List[Tuple[float, int]], KWayMergeStats]:
+    """Exact global top-K of per-shard top-K lists, streamed.
+
+    The scatter-gather reduce of the cluster layer: each partial must be
+    sorted in the canonical order (score descending, id ascending on
+    ties — :func:`topk_select` produces exactly that), and the merge
+    then consumes at most ``k`` entries head-first from a ``len(
+    partials)``-way heap instead of materializing and sorting the
+    concatenation.  The result is identical to
+    ``merge_topk(partials, k)`` for canonical inputs; the stats power
+    the coordinator's gather cost model.
+    """
+    if k <= 0:
+        raise ValueError("K must be positive")
+    heads: List[Tuple[float, int, int, int]] = []
+    offered = 0
+    for which, partial in enumerate(partials):
+        offered += len(partial)
+        if partial:
+            score, fid = partial[0]
+            # negate the score: heapq is a min-heap, we pop best-first
+            heads.append((-score, fid, which, 0))
+    heapq.heapify(heads)
+    heap_ops = len(heads)
+    merged: List[Tuple[float, int]] = []
+    while heads and len(merged) < k:
+        neg_score, fid, which, pos = heapq.heappop(heads)
+        heap_ops += 1
+        merged.append((-neg_score, fid))
+        nxt = pos + 1
+        partial = partials[which]
+        if nxt < len(partial):
+            score, next_fid = partial[nxt]
+            heapq.heappush(heads, (-score, next_fid, which, nxt))
+            heap_ops += 1
+    stats = KWayMergeStats(
+        lists=len(partials),
+        entries_offered=offered,
+        entries_popped=len(merged),
+        heap_ops=heap_ops,
+    )
+    return merged, stats

@@ -173,11 +173,13 @@ class FaultInjector:
                 self._dead_planes[key3] = min(
                     self._dead_planes.get(key3, failure.at_s), failure.at_s
                 )
-            else:
+            elif failure.kind == "accelerator":
                 self._dead_accels[failure.index] = min(
                     self._dead_accels.get(failure.index, failure.at_s),
                     failure.at_s,
                 )
+            # "shard" failures are cluster-level: the coordinator, not
+            # the per-device injector, consumes them (replica failover)
 
     # ------------------------------------------------------------------
     # epochs

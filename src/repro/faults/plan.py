@@ -21,7 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 #: component kinds a :class:`ComponentFailure` may name
-FAILURE_KINDS = ("chip", "plane", "accelerator")
+FAILURE_KINDS = ("chip", "plane", "accelerator", "shard")
 
 
 @dataclass(frozen=True)
@@ -32,6 +32,13 @@ class ComponentFailure:
     not apply are left ``None`` (an accelerator failure uses ``index``
     — for channel-level placements that is the channel number).  The
     component is considered dead at every simulated time ``>= at_s``.
+
+    ``kind="shard"`` names one replica SSD of one cluster shard
+    (``index`` is the shard, ``replica`` the copy, default 0 — the
+    primary).  Shard failures are consumed by the cluster coordinator,
+    not the per-device injector: the coordinator fails over to a
+    surviving replica, so the query stays *correct* and only pays the
+    detection ladder.
     """
 
     kind: str
@@ -40,6 +47,7 @@ class ComponentFailure:
     chip: Optional[int] = None
     plane: Optional[int] = None
     index: Optional[int] = None
+    replica: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAILURE_KINDS:
@@ -54,6 +62,13 @@ class ComponentFailure:
             raise ValueError("plane failures need channel, chip and plane")
         if self.kind == "accelerator" and self.index is None:
             raise ValueError("accelerator failures need an index")
+        if self.kind == "shard":
+            if self.index is None:
+                raise ValueError("shard failures need an index (the shard)")
+            if self.replica is None:
+                object.__setattr__(self, "replica", 0)
+            elif self.replica < 0:
+                raise ValueError("replica cannot be negative")
 
 
 @dataclass(frozen=True)
@@ -149,6 +164,28 @@ class FaultPlan:
         """Copy with one chip hard-failed at ``at_s``."""
         return self.with_failure(
             ComponentFailure(kind="chip", channel=channel, chip=chip, at_s=at_s)
+        )
+
+    def fail_shard(
+        self, shard: int, replica: int = 0, at_s: float = 0.0
+    ) -> "FaultPlan":
+        """Copy with one replica SSD of cluster shard ``shard`` dead."""
+        return self.with_failure(
+            ComponentFailure(kind="shard", index=shard, replica=replica, at_s=at_s)
+        )
+
+    def dead_shard_replicas(self) -> Tuple[Tuple[int, int], ...]:
+        """(shard, replica) pairs this plan hard-fails, sorted."""
+        return tuple(
+            sorted(
+                {
+                    (f.index, f.replica)
+                    for f in self.failures
+                    if f.kind == "shard"
+                    and f.index is not None
+                    and f.replica is not None
+                }
+            )
         )
 
     def describe(self) -> str:

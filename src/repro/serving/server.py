@@ -76,6 +76,15 @@ class ServingConfig:
     failed_accels: Tuple[int, ...] = ()
     #: batch cost fidelity: ``analytic`` or ``event``-calibrated
     fidelity: str = "analytic"
+    #: cluster sharding: >1 prices each batch as one scatter-gather
+    #: round over a sharded deployment (see repro.cluster.serving)
+    n_shards: int = 1
+    #: replicas per shard in the sharded deployment
+    n_replicas: int = 1
+    #: cluster placement strategy (range / hash / locality)
+    shard_placement: str = "range"
+    #: dead cluster replicas: shard ids or (shard, replica) pairs
+    fail_shards: Tuple = ()
 
     def __post_init__(self) -> None:
         if self.features <= 0:
@@ -84,6 +93,15 @@ class ServingConfig:
             raise ValueError("n_servers must be positive")
         if self.cache_entries < 0:
             raise ValueError("cache_entries cannot be negative")
+        if self.n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if self.n_replicas <= 0:
+            raise ValueError("n_replicas must be positive")
+
+    @property
+    def clustered(self) -> bool:
+        """Whether batches are priced against a sharded deployment."""
+        return self.n_shards > 1 or self.n_replicas > 1 or bool(self.fail_shards)
 
 
 @dataclass
@@ -178,16 +196,39 @@ class QueryServer:
             self.app.feature_bytes, config.features
         )
         self.graph = self.app.build_scn()
-        self.cost = BatchCostModel(
-            self.app,
-            self.meta,
-            system=self.system,
-            policy=BatchPolicy(config.max_batch),
-            graph=self.graph,
-            failed_accels=config.failed_accels,
-            dispatch_policy=dispatch_policy,
-            fidelity=config.fidelity,
-        )
+        if config.clustered:
+            # lazy import: repro.cluster.serving itself imports the
+            # batcher, so the edge must only exist at instance time
+            from repro.cluster.config import ClusterConfig
+            from repro.cluster.serving import ClusterBatchCostModel
+
+            self.cost = ClusterBatchCostModel(
+                self.app,
+                self.meta,
+                cluster=ClusterConfig(
+                    n_shards=config.n_shards,
+                    n_replicas=config.n_replicas,
+                    placement=config.shard_placement,
+                    level=self.system.placement.level,
+                    fail_shards=config.fail_shards,
+                ),
+                system=self.system,
+                policy=BatchPolicy(config.max_batch),
+                failed_accels=config.failed_accels,
+                dispatch_policy=dispatch_policy,
+                fidelity=config.fidelity,
+            )
+        else:
+            self.cost = BatchCostModel(
+                self.app,
+                self.meta,
+                system=self.system,
+                policy=BatchPolicy(config.max_batch),
+                graph=self.graph,
+                failed_accels=config.failed_accels,
+                dispatch_policy=dispatch_policy,
+                fidelity=config.fidelity,
+            )
         # cache fast path: per-entry QCN lookup plus a top-K re-rank on
         # the SCN, all without occupying a scan backend
         self.cache: Optional[QueryCache] = None

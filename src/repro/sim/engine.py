@@ -20,6 +20,10 @@ class SimulationError(RuntimeError):
     """Raised for scheduler misuse (e.g. scheduling in the past)."""
 
 
+def _released_callback() -> None:  # pragma: no cover - defensive
+    raise SimulationError("a released (cancelled or fired) event ran")
+
+
 @dataclass(order=True)
 class Event:
     """A scheduled callback.
@@ -39,11 +43,21 @@ class Event:
     sim: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the scheduler skips it when popped."""
-        if not self.cancelled:
-            self.cancelled = True
-            if self.sim is not None:
-                self.sim._note_cancelled()
+        """Mark the event so the scheduler skips it when popped.
+
+        Idempotent: cancelling twice counts once.  The callback and the
+        scheduler backreference are dropped *at cancel time*, not when
+        the corpse is eventually popped or compacted away — hedged
+        requests cancel callbacks that close over whole result payloads,
+        which must not stay reachable for the rest of the simulation.
+        """
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.callback = _released_callback
+        sim, self.sim = self.sim, None
+        if sim is not None:
+            sim._note_cancelled()
 
 
 class Simulator:
@@ -180,7 +194,12 @@ class Simulator:
             # the event left the heap: a late cancel() must not skew
             # the cancelled-pending accounting
             event.sim = None
-            event.callback()
+            callback = event.callback
+            # release the closure before running it — callers holding
+            # the Event handle (hedging keeps completion events around
+            # to cancel losers) must not pin the payload it closes over
+            event.callback = _released_callback
+            callback()
             return True
         return False
 

@@ -233,3 +233,73 @@ class TestServe:
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["config"]["failed_accels"] == [0, 1]
+
+
+class TestClusterCommand:
+    SMALL = ["cluster", "--features", "600", "--queries", "2", "--k", "4"]
+
+    def test_parse_fail_shards(self):
+        from repro.cli import _parse_fail_shards
+
+        assert _parse_fail_shards("") == ()
+        assert _parse_fail_shards("0,3:1") == (0, (3, 1))
+        assert _parse_fail_shards(" 2 , 1:0 ") == (2, (1, 0))
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.shards == 4
+        assert args.replicas == 1
+        assert args.placement == "range"
+        assert not args.scorecard
+
+    def test_parser_rejects_bad_placement(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--placement", "nope"])
+
+    def test_human_output(self, capsys):
+        assert main(self.SMALL + ["--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 shard(s)" in out
+        assert "recall" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(self.SMALL + ["--shards", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["shards"] == 2
+        assert len(payload["queries"]) == 2
+        assert len(payload["queries"][0]["feature_ids"]) == 4
+        assert payload["metrics"]["cluster.scatters"] == 2
+        assert sum(payload["shard_sizes"]) == 600
+
+    def test_json_deterministic(self, capsys):
+        cmd = self.SMALL + ["--shards", "2", "--replicas", "2",
+                            "--fail-shards", "1", "--json"]
+        assert main(cmd) == 0
+        first = capsys.readouterr().out
+        assert main(cmd) == 0
+        assert capsys.readouterr().out == first
+
+    def test_fail_shards_reported(self, capsys):
+        import json
+
+        assert main(self.SMALL + ["--shards", "2", "--replicas", "2",
+                                  "--fail-shards", "0:0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["dead_replicas"] == [[0, 0]]
+        assert payload["queries"][0]["failovers"] == 1
+
+    def test_unservable_cluster_fails_cleanly(self, capsys):
+        assert main(self.SMALL + ["--shards", "2",
+                                  "--fail-shards", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_scorecard_mode(self, capsys):
+        import json
+
+        assert main(["cluster", "--scorecard"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["shards"] for row in payload["scaling"]] == [1, 2, 4, 8]
+        assert payload["failover"]["failovers"] >= 1
+        assert payload["hedged"]["hedges_launched"] > 0

@@ -1,0 +1,113 @@
+"""Tests for dataset partitioning across cluster shards."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ShardPlacement,
+    hash_placement,
+    locality_placement,
+    make_placement,
+    range_placement,
+)
+
+
+class TestRangePlacement:
+    def test_contiguous_and_balanced(self):
+        placement = range_placement(10, 3)
+        assert sorted(placement.shard_sizes) == [3, 3, 4]
+        flat = np.concatenate(placement.owners)
+        assert np.array_equal(flat, np.arange(10))  # contiguous slices
+        for ids in placement.owners:
+            assert np.array_equal(ids, np.arange(ids[0], ids[-1] + 1))
+
+    def test_more_shards_than_features_leaves_empty_shards(self):
+        placement = range_placement(2, 5)
+        assert sum(placement.shard_sizes) == 2
+        assert placement.non_empty_shards() == [
+            s for s, ids in enumerate(placement.owners) if len(ids)
+        ]
+        assert len(placement.non_empty_shards()) == 2
+
+    def test_imbalance_close_to_one(self):
+        assert range_placement(1000, 7).imbalance < 1.01
+
+
+class TestHashPlacement:
+    def test_decorrelates_from_insert_order(self):
+        placement = hash_placement(1000, 4)
+        # no shard owns a long contiguous prefix
+        for ids in placement.owners:
+            assert len(ids) > 0
+            assert not np.array_equal(ids, np.arange(len(ids)))
+
+    def test_seed_changes_assignment(self):
+        a = hash_placement(500, 4, seed=0)
+        b = hash_placement(500, 4, seed=1)
+        assert any(
+            not np.array_equal(x, y) for x, y in zip(a.owners, b.owners)
+        )
+
+    def test_reasonably_balanced(self):
+        assert hash_placement(10_000, 8).imbalance < 1.1
+
+
+class TestLocalityPlacement:
+    def test_block_cyclic_without_features(self):
+        placement = locality_placement(64, 4)
+        assert placement.strategy == "locality"
+        assert sum(placement.shard_sizes) == 64
+        # neighbouring ids co-shard in blocks
+        shard_of = placement.shard_of()
+        assert shard_of[0] == shard_of[1]
+
+    def test_embedding_aware_respects_balance_cap(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(0, 1, (200, 16)).astype(np.float32)
+        placement = locality_placement(200, 4, features=features, seed=3)
+        assert sum(placement.shard_sizes) == 200
+        assert max(placement.shard_sizes) <= int(np.ceil(2.0 * 200 / 4))
+
+    def test_co_shards_similar_features(self):
+        rng = np.random.default_rng(1)
+        # two tight, well-separated clusters
+        a = rng.normal(0, 0.01, (50, 8)) + 10.0
+        b = rng.normal(0, 0.01, (50, 8)) - 10.0
+        features = np.vstack([a, b]).astype(np.float32)
+        placement = locality_placement(100, 2, features=features, seed=0)
+        shard_of = placement.shard_of()
+        # each cluster lands (almost) entirely on one shard
+        assert len(set(shard_of[:50].tolist())) == 1
+        assert len(set(shard_of[50:].tolist())) == 1
+
+    def test_feature_shape_validated(self):
+        with pytest.raises(ValueError):
+            locality_placement(10, 2, features=np.zeros((5, 4)))
+
+
+class TestShardPlacement:
+    def test_partition_must_be_exact(self):
+        with pytest.raises(ValueError):
+            ShardPlacement(
+                "range", 5, (np.arange(2, dtype=np.int64),)
+            )
+
+    def test_shard_of_inverts_owners(self):
+        placement = make_placement("hash", 123, 5, seed=2)
+        shard_of = placement.shard_of()
+        for shard, ids in enumerate(placement.owners):
+            assert all(shard_of[i] == shard for i in ids)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            make_placement("alphabetical", 10, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            range_placement(-1, 2)
+        with pytest.raises(ValueError):
+            range_placement(10, 0)
+        with pytest.raises(ValueError):
+            hash_placement(10, 0)
+        with pytest.raises(ValueError):
+            locality_placement(10, 0)

@@ -3,7 +3,13 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.topk import TopKSorter, merge_topk
+from repro.core.topk import (
+    KWayMergeStats,
+    TopKSorter,
+    kway_merge_topk,
+    merge_topk,
+    topk_select,
+)
 
 
 class TestTopKSorter:
@@ -101,3 +107,70 @@ class TestMergeTopK:
             key=lambda pair: (-pair[0], pair[1]),
         )
         assert merged == everything[:k]
+
+
+class TestTopKSelect:
+    def test_canonical_order(self):
+        pairs = [(0.5, 9), (0.9, 4), (0.5, 1), (0.9, 2)]
+        assert topk_select(pairs, 3) == [(0.9, 2), (0.9, 4), (0.5, 1)]
+
+    def test_k_larger_than_input(self):
+        assert topk_select([(0.3, 0)], 10) == [(0.3, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topk_select([(0.1, 0)], 0)
+
+
+class TestKWayMergeTopK:
+    def test_matches_materialized_merge(self):
+        partials = [
+            [(0.9, 1), (0.5, 2)],
+            [(0.8, 3), (0.7, 4)],
+            [],
+        ]
+        merged, _ = kway_merge_topk(partials, 3)
+        assert merged == merge_topk(partials, 3)
+
+    def test_single_list_costs_zero_comparisons(self):
+        # the degenerate one-shard cluster must add zero hidden cost
+        merged, stats = kway_merge_topk([[(0.9, 0), (0.1, 1)]], 2)
+        assert merged == [(0.9, 0), (0.1, 1)]
+        assert stats.lists == 1
+        assert stats.comparisons == 0
+
+    def test_empty_input_costs_nothing(self):
+        merged, stats = kway_merge_topk([[], []], 5)
+        assert merged == []
+        assert stats.heap_ops == 0
+        assert stats.entries_popped == 0
+
+    def test_stats_accounting(self):
+        partials = [
+            [(0.9, 1), (0.5, 2)],
+            [(0.8, 3), (0.7, 4)],
+        ]
+        merged, stats = kway_merge_topk(partials, 3)
+        assert stats.lists == 2
+        assert stats.entries_offered == 4
+        assert stats.entries_popped == 3
+        # heapify(2 heads) + 3 pops + 2 refill pushes (last pop drains)
+        assert stats.heap_ops == 7
+        assert stats.comparisons == 7  # ceil(log2(2)) == 1
+
+    def test_streaming_stops_at_k(self):
+        # only K entries are popped no matter how much was offered
+        partials = [[(1.0 - i / 100, i) for i in range(50)]]
+        _, stats = kway_merge_topk(partials, 3)
+        assert stats.entries_popped == 3
+        assert stats.entries_offered == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kway_merge_topk([[(0.5, 0)]], 0)
+
+    def test_comparisons_scale_with_log_lists(self):
+        stats = KWayMergeStats(
+            lists=8, entries_offered=0, entries_popped=0, heap_ops=10
+        )
+        assert stats.comparisons == 30  # 10 * ceil(log2(8))

@@ -206,6 +206,78 @@ class TestSimulator:
         assert sim.events_processed == len(events) - cancelled
         assert sim.cancelled_pending == 0
 
+    def test_cancel_releases_callback_closure(self):
+        # hedged requests cancel completion events whose callbacks close
+        # over whole result payloads; the payload must become garbage at
+        # cancel time even while the Event handle stays referenced
+        import gc
+        import weakref
+
+        class Payload:
+            pass
+
+        sim = Simulator()
+        payload = Payload()
+        ref = weakref.ref(payload)
+        event = sim.schedule(1.0, lambda p=payload: p)
+        del payload
+        gc.collect()
+        assert ref() is not None  # pinned by the scheduled callback
+        event.cancel()
+        gc.collect()
+        assert ref() is None  # released at cancel time, not at pop time
+        sim.run()  # the corpse pops harmlessly
+
+    def test_fired_event_releases_callback_closure(self):
+        # a retained Event handle (hedging keeps them around to cancel
+        # losers) must not pin the winner's payload after it fired
+        import gc
+        import weakref
+
+        class Payload:
+            pass
+
+        sim = Simulator()
+        payload = Payload()
+        ref = weakref.ref(payload)
+        event = sim.schedule(1.0, lambda p=payload: None)
+        del payload
+        sim.run()
+        gc.collect()
+        assert ref() is None
+        assert event.time == 1.0  # handle still usable for bookkeeping
+
+    def test_double_cancel_releases_once_and_stays_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled
+        assert event.sim is None
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_cancel_after_fire_is_harmless_noop(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
+        event.cancel()  # losers can be cancelled after the race resolved
+        event.cancel()
+        assert sim.cancelled_pending == 0
+        assert sim.events_processed == 1
+
+    def test_released_event_cannot_rerun(self):
+        from repro.sim.engine import _released_callback
+
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert event.callback is _released_callback
+        with pytest.raises(SimulationError):
+            event.callback()
+
     @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
     def test_events_always_fire_in_nondecreasing_time(self, times):
         sim = Simulator()
