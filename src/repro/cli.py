@@ -599,6 +599,93 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Online ingest & data lifecycle: mutate a database while querying.
+
+    Runs the deterministic staleness → compaction → interference loop
+    (:func:`repro.ingest.run_lifecycle`) and reports what mutating the
+    database actually cost: clustered-layout recall drifting as the
+    delta region grows, the preemptible compaction that restores it,
+    and the measured write-amplification feeding query slowdown.
+    ``--scorecard`` emits the ingest leg of the CI perf gate.
+    """
+    import json
+
+    from repro.ingest import (
+        IngestError,
+        LifecycleConfig,
+        build_ingest_scorecard,
+        run_lifecycle,
+    )
+
+    if args.scorecard:
+        # always machine-readable: this is the artifact CI gates on
+        print(json.dumps(build_ingest_scorecard(), indent=2, sort_keys=True))
+        return 0
+
+    try:
+        config = LifecycleConfig(
+            app=args.app,
+            n_base=args.base,
+            rounds=args.rounds,
+            probe_queries=args.queries,
+            k=args.k,
+            seed=args.seed,
+        )
+        report = run_lifecycle(config)
+    except (IngestError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        payload = report.as_dict()
+        payload["config"] = {
+            "app": args.app,
+            "base": args.base,
+            "rounds": args.rounds,
+            "queries": args.queries,
+            "k": args.k,
+            "seed": args.seed,
+        }
+        payload["metrics"] = {
+            key: value
+            for key, value in report.metrics.items()
+            if key.startswith("ingest.")
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True, default=float))
+        return 0
+
+    print(f"Ingest lifecycle: {args.app}, {config.n_base} base rows, "
+          f"{config.rounds} mutation rounds, seed {config.seed}")
+    print()
+    print("staleness (clustered-scan recall vs exact snapshot top-K):")
+    print("  round  delta%  stale recall  +delta recall")
+    for point in report.staleness:
+        print(f"  {point.round:5d}  {point.delta_fraction * 100:5.1f}"
+              f"  {point.stale_recall:12.3f}"
+              f"  {point.with_delta_recall:13.3f}")
+    comp = report.compaction
+    print()
+    print(f"compaction: {comp.rows_rewritten} rows rewritten, "
+          f"{comp.reclaimed_rows} tombstones reclaimed "
+          f"({comp.chunks} chunks, {comp.preemptions} preempted by queries, "
+          f"{comp.duration_s * 1e3:.2f} ms on the DES timeline)")
+    print(f"  recall {report.staleness[-1].stale_recall:.3f} -> "
+          f"{report.post_compaction_recall:.3f} "
+          f"(fresh-layout baseline {report.fresh_baseline_recall:.3f})")
+    print()
+    print(f"write path: WA {report.write_amplification:.3f} "
+          f"({report.host_writes} host pages, "
+          f"{report.gc_relocations} GC relocations, "
+          f"{report.gc_erases} erases, {report.mutations} mutations)")
+    print("interference (query slowdown vs background ingest load):")
+    for point in report.interference:
+        print(f"  raw {point.raw_load:4.2f} -> "
+              f"offered {point.offered_load:4.2f}: "
+              f"{point.slowdown:6.3f}x")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import DeepStoreDevice
     from repro.analysis import format_seconds
@@ -787,6 +874,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the canonical CI perf scorecard (JSON)")
     cluster.add_argument("--json", action="store_true")
 
+    ingest = sub.add_parser(
+        "ingest", help="online ingest & data-lifecycle loop"
+    )
+    ingest.add_argument("--app", default="textqa",
+                        choices=["reid", "mir", "estp", "tir", "textqa"])
+    ingest.add_argument("--base", type=int, default=1024,
+                        help="base rows written before mutation begins")
+    ingest.add_argument("--rounds", type=int, default=3,
+                        help="mutation rounds (insert/delete/update batches)")
+    ingest.add_argument("--queries", type=int, default=6,
+                        help="probe queries per staleness measurement")
+    ingest.add_argument("--k", type=int, default=10)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--scorecard", action="store_true",
+                        help="emit the canonical CI perf scorecard (JSON)")
+    ingest.add_argument("--json", action="store_true")
+
     demo = sub.add_parser("demo", help="end-to-end functional query")
     demo.add_argument("--app", default="tir",
                       choices=["reid", "mir", "estp", "tir", "textqa"])
@@ -811,6 +915,7 @@ COMMANDS = {
     "profile": _cmd_profile,
     "serve": _cmd_serve,
     "cluster": _cmd_cluster,
+    "ingest": _cmd_ingest,
     "demo": _cmd_demo,
 }
 

@@ -30,6 +30,11 @@ from repro.cluster.coordinator import (
     DeepStoreCluster,
     ShardReport,
 )
+from repro.cluster.ingest import (
+    RebalanceMove,
+    RebalancePlan,
+    ShardIngestTracker,
+)
 from repro.cluster.model import ClusterEstimate, ClusterModel
 from repro.cluster.placement import (
     ShardPlacement,
@@ -61,7 +66,10 @@ __all__ = [
     "ClusterQueryResult",
     "CoordinatorCosts",
     "DeepStoreCluster",
+    "RebalanceMove",
+    "RebalancePlan",
     "ReplicaAttempt",
+    "ShardIngestTracker",
     "ScatterResult",
     "ShardJob",
     "ShardOutcome",

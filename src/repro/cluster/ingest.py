@@ -1,0 +1,176 @@
+"""Per-shard ingest routing and skew-triggered rebalancing.
+
+A sharded deployment mutating online has a placement-decay problem of
+its own: whatever :mod:`repro.cluster.placement` strategy laid out the
+base rows, *new* rows arrive on the shard the router picks, and a
+skewed ingest stream (hot tenants, hot key ranges) concentrates both
+the write bandwidth and the growing delta region on a few shards —
+exactly the shards whose scans then slow down.
+
+:class:`ShardIngestTracker` is the bookkeeping half of the fix: it
+routes inserts deterministically (multiplicative hash, matching the
+``hash`` placement strategy), tallies per-shard ingest load, and when
+the observed skew (max shard load over mean) crosses a threshold emits
+a :class:`RebalancePlan` — the move list that would level the shards.
+Executing the plan is the coordinator's business (it owns the devices);
+the ``on_rebalance`` hook is where it subscribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+#: 2**64 / golden ratio (same constant as repro.cluster.placement)
+_KNUTH_64 = 0x9E3779B97F4A7C15
+_MASK_64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class RebalanceMove:
+    """Move ``rows`` ingested rows from ``src`` shard to ``dst``."""
+
+    src: int
+    dst: int
+    rows: int
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """A proposed leveling of skewed per-shard ingest load."""
+
+    #: observed skew (max/mean) that triggered the plan
+    skew: float
+    #: per-shard ingested-row counts at trigger time
+    loads: Tuple[int, ...]
+    moves: Tuple[RebalanceMove, ...]
+
+    @property
+    def rows_moved(self) -> int:
+        return sum(m.rows for m in self.moves)
+
+
+class ShardIngestTracker:
+    """Routes and tallies per-shard ingest; flags skew for rebalancing.
+
+    ``skew_threshold`` is the max/mean load ratio past which a
+    :class:`RebalancePlan` is emitted (must be > 1); ``min_inserts``
+    suppresses plans until enough rows have arrived for the ratio to
+    mean anything.  After a plan fires the tallies are reset to the
+    leveled state, so one burst of skew yields one plan, not a plan per
+    subsequent insert.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        skew_threshold: float = 2.0,
+        min_inserts: int = 64,
+        seed: int = 0,
+        on_rebalance: Optional[Callable[[RebalancePlan], None]] = None,
+    ):
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if skew_threshold <= 1.0:
+            raise ValueError("skew_threshold must exceed 1.0")
+        if min_inserts < 1:
+            raise ValueError("min_inserts must be positive")
+        self.n_shards = n_shards
+        self.skew_threshold = skew_threshold
+        self.min_inserts = min_inserts
+        self.seed = seed
+        self.on_rebalance = on_rebalance
+        self._loads = [0] * n_shards
+        self.total_inserts = 0
+        self.rebalances = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def loads(self) -> Tuple[int, ...]:
+        """Per-shard ingested-row tallies since the last rebalance."""
+        return tuple(self._loads)
+
+    @property
+    def skew(self) -> float:
+        """Max shard load over mean load (1.0 when idle or level)."""
+        total = sum(self._loads)
+        if total == 0:
+            return 1.0
+        mean = total / self.n_shards
+        return max(self._loads) / mean
+
+    def route(self, fid: int) -> int:
+        """The shard a new feature id lands on (hash placement rule)."""
+        mixed = ((int(fid) + ((self.seed * 2 + 1) & _MASK_64)) * _KNUTH_64) & _MASK_64
+        return mixed % self.n_shards
+
+    def record(self, shard: int, rows: int = 1) -> Optional[RebalancePlan]:
+        """Tally ``rows`` ingested on ``shard``; maybe emit a plan."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} out of range")
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        self._loads[shard] += rows
+        self.total_inserts += rows
+        return self.check()
+
+    def record_routed(self, fid: int, rows: int = 1) -> int:
+        """Route ``fid``, tally it, and return the chosen shard."""
+        shard = self.route(fid)
+        self.record(shard, rows)
+        return shard
+
+    # ------------------------------------------------------------------
+    def check(self) -> Optional[RebalancePlan]:
+        """Emit (and apply internally) a plan when skew is past bounds."""
+        if sum(self._loads) < self.min_inserts:
+            return None
+        skew = self.skew
+        if skew <= self.skew_threshold:
+            return None
+        plan = RebalancePlan(
+            skew=skew, loads=self.loads, moves=self._level_moves()
+        )
+        # the tracker's view becomes the leveled state: tallies restart
+        # so one skew burst yields one plan
+        total = sum(self._loads)
+        base, extra = divmod(total, self.n_shards)
+        self._loads = [
+            base + (1 if s < extra else 0) for s in range(self.n_shards)
+        ]
+        self.rebalances += 1
+        if self.on_rebalance is not None:
+            self.on_rebalance(plan)
+        return plan
+
+    def _level_moves(self) -> Tuple[RebalanceMove, ...]:
+        """Greedy donor→recipient moves that level the current loads."""
+        total = sum(self._loads)
+        base, extra = divmod(total, self.n_shards)
+        target = [
+            base + (1 if s < extra else 0) for s in range(self.n_shards)
+        ]
+        surplus = [
+            (s, self._loads[s] - target[s])
+            for s in range(self.n_shards)
+            if self._loads[s] > target[s]
+        ]
+        deficit = [
+            (s, target[s] - self._loads[s])
+            for s in range(self.n_shards)
+            if self._loads[s] < target[s]
+        ]
+        moves: List[RebalanceMove] = []
+        di = 0
+        for src, give in surplus:
+            while give > 0 and di < len(deficit):
+                dst, need = deficit[di]
+                take = min(give, need)
+                moves.append(RebalanceMove(src=src, dst=dst, rows=take))
+                give -= take
+                need -= take
+                if need == 0:
+                    di += 1
+                else:
+                    deficit[di] = (dst, need)
+        return tuple(moves)

@@ -100,6 +100,10 @@ class DeepStoreDevice:
         self._cache: Optional[QueryCache] = None
         self._cache_lookup_seconds_per_entry = 0.0
         self._ingest_seconds: Dict[int, float] = {}
+        #: per-database mutation epoch; query-cache entries are tagged
+        #: ``(db_id, epoch)`` so results cached before a mutation can
+        #: never satisfy queries issued after it
+        self._db_epochs: Dict[int, int] = {}
         self._failed_accels: set = set()
         self.seed = seed
 
@@ -139,6 +143,7 @@ class DeepStoreDevice:
         self._feature_store[meta.db_id] = features.copy()
         self.ssd.dram.allocate(f"db{meta.db_id}-metadata", meta.METADATA_BYTES)
         self._ingest_seconds[meta.db_id] = self.ssd.database_write_seconds(meta)
+        self._db_epochs[meta.db_id] = 0
         return meta.db_id
 
     def append_db(self, db_id: int, features: np.ndarray) -> None:
@@ -164,6 +169,7 @@ class DeepStoreDevice:
             self._ingest_seconds.get(db_id, 0.0)
             + self.ssd.database_write_seconds(appended)
         )
+        self._note_mutation(db_id)
 
     def read_db(self, db_id: int, start: int = 0, num: Optional[int] = None) -> np.ndarray:
         """``readDB``: read ``num`` features starting at ``start``."""
@@ -184,6 +190,17 @@ class DeepStoreDevice:
         """Modelled time spent writing/appending this database to flash."""
         self.ssd.ftl.get(db_id)  # validate the handle
         return self._ingest_seconds.get(db_id, 0.0)
+
+    def db_epoch(self, db_id: int) -> int:
+        """The database's mutation epoch (0 = never mutated)."""
+        self.ssd.ftl.get(db_id)  # validate the handle
+        return self._db_epochs.get(db_id, 0)
+
+    def _note_mutation(self, db_id: int) -> None:
+        """Advance the epoch and drop now-stale query-cache entries."""
+        self._db_epochs[db_id] = self._db_epochs.get(db_id, 0) + 1
+        if self._cache is not None:
+            self._cache.invalidate_tag_prefix((db_id,))
 
     # ------------------------------------------------------------------
     # models (loadModel)
@@ -268,8 +285,9 @@ class DeepStoreDevice:
             )
 
         cache_hit = False
+        cache_tag = (db_id, self._db_epochs.get(db_id, 0))
         if self._cache is not None:
-            lookup = self._cache.lookup(qfv)
+            lookup = self._cache.lookup(qfv, tag=cache_tag)
             if lookup.hit and lookup.entry is not None:
                 candidates = lookup.entry.topk_feature_ids
                 scores = self._score_features(graph, qfv, store[candidates])
@@ -304,7 +322,7 @@ class DeepStoreDevice:
                 graph, sliced, feature_bytes=meta.feature_bytes, name=graph.name
             )
         if self._cache is not None:
-            self._cache.insert(qfv, scores, ids)
+            self._cache.insert(qfv, scores, ids, tag=cache_tag)
             lookup_cost = len(self._cache) * self._cache_lookup_seconds_per_entry
             latency = dataclasses.replace(
                 latency, engine_seconds=latency.engine_seconds + lookup_cost

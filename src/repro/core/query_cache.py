@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,6 +64,9 @@ class CacheEntry:
     topk_feature_ids: np.ndarray  # feature indices ("TopKFV")
     object_ids: np.ndarray  # physical addresses of the features
     valid: bool = True
+    #: provenance tag, e.g. ``(db_id, epoch)`` — lookups filtered by tag
+    #: only hit entries produced against the same database state
+    tag: Optional[Tuple] = None
 
     def nbytes(self) -> int:
         """DRAM footprint of this entry."""
@@ -110,6 +113,7 @@ class QueryCache:
         self._next_id = 0
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -128,12 +132,22 @@ class QueryCache:
         return sum(entry.nbytes() for entry in self._entries.values())
 
     # ------------------------------------------------------------------
-    def lookup(self, qfv: np.ndarray) -> LookupResult:
-        """Algorithm 1: scan entries, scale by accuracy, threshold."""
-        if not self._entries:
+    def lookup(self, qfv: np.ndarray, tag: Optional[Tuple] = None) -> LookupResult:
+        """Algorithm 1: scan entries, scale by accuracy, threshold.
+
+        With ``tag`` given, only entries carrying an equal tag are
+        candidates — the epoch-tagged lookup a mutable database needs so
+        a result cached before a mutation can never satisfy a query
+        issued after it.  ``tag=None`` scans every entry (the static,
+        pre-ingest behaviour).
+        """
+        if tag is None:
+            keys = list(self._entries.keys())
+        else:
+            keys = [k for k, e in self._entries.items() if e.tag == tag]
+        if not keys:
             self.misses += 1
             return LookupResult(False, None, 0.0, 0)
-        keys = list(self._entries.keys())
         matrix = np.stack([self._entries[k].qfv for k in keys])
         scores = self.comparator.score_many(qfv, matrix) * self.qcn_accuracy
         best_index = int(np.argmax(scores))
@@ -153,6 +167,7 @@ class QueryCache:
         topk_scores: Sequence[float],
         topk_feature_ids: Sequence[int],
         object_ids: Optional[Sequence[int]] = None,
+        tag: Optional[Tuple] = None,
     ) -> None:
         """Insert a query and its results, evicting LRU if full."""
         if object_ids is None:
@@ -162,11 +177,34 @@ class QueryCache:
             topk_scores=np.asarray(topk_scores, dtype=np.float32),
             topk_feature_ids=np.asarray(topk_feature_ids, dtype=np.int64),
             object_ids=np.asarray(object_ids, dtype=np.int64),
+            tag=tag,
         )
         if len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
         self._entries[self._next_id] = entry
         self._next_id += 1
+
+    def invalidate(self, match: Callable[[Optional[Tuple]], bool]) -> int:
+        """Drop every entry whose tag satisfies ``match``; return count.
+
+        Mutations call this with a predicate over the entry tag (e.g.
+        "same db_id") so stale top-K lists are removed outright rather
+        than lingering until LRU eviction — the lookup cost a device
+        pays is proportional to live entries, so correctness *and* cost
+        stay honest after a mutation.
+        """
+        doomed = [k for k, e in self._entries.items() if match(e.tag)]
+        for key in doomed:
+            del self._entries[key]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    def invalidate_tag_prefix(self, prefix: Tuple) -> int:
+        """Drop entries whose tag starts with ``prefix`` (e.g. a db_id)."""
+        n = len(prefix)
+        return self.invalidate(
+            lambda tag: tag is not None and tuple(tag[:n]) == tuple(prefix)
+        )
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters (after warm-up)."""

@@ -42,6 +42,8 @@ _DOMAIN_CHIP_AMBIENT = 3
 _DOMAIN_ACCEL_AMBIENT = 4
 _DOMAIN_READ_RETRY_DEPTH = 5
 _DOMAIN_CRC_DEPTH = 6
+_DOMAIN_PROGRAM = 7
+_DOMAIN_PROGRAM_DEPTH = 8
 
 
 def _mix(*values: int) -> int:
@@ -100,6 +102,9 @@ class ReliabilityCounters:
         "transfers",
         "transfers_with_crc_error",
         "crc_retransfers",
+        "page_programs",
+        "programs_with_retry",
+        "program_retries",
         "failed_reads",
         "dispatch_timeouts",
     )
@@ -110,6 +115,9 @@ class ReliabilityCounters:
     transfers = _CounterField()
     transfers_with_crc_error = _CounterField()
     crc_retransfers = _CounterField()
+    page_programs = _CounterField()
+    programs_with_retry = _CounterField()
+    program_retries = _CounterField()
     failed_reads = _CounterField()
     dispatch_timeouts = _CounterField()
 
@@ -260,6 +268,38 @@ class FaultInjector:
         depth = min(depth, plan.crc_retry_max)
         self.counts.transfers_with_crc_error += 1
         self.counts.crc_retransfers += depth
+        return depth
+
+    def page_program_retries(self, address: PhysicalPageAddress) -> int:
+        """Extra program passes this page write needs (0 = clean).
+
+        Models program-verify failure on the ingest write path: with
+        probability ``program_fail_rate`` the verify after the first
+        program pulse fails and the controller re-programs, for a
+        uniform 1..max extra passes.  Occurrence and depth use hash
+        domains disjoint from every read/transfer fault class, so
+        enabling write faults never reshuffles the read-fault pattern
+        of an otherwise identical run.
+        """
+        self.counts.page_programs += 1
+        plan = self.plan
+        if plan.program_fail_rate <= 0.0:
+            return 0
+        site = (
+            address.channel,
+            address.chip,
+            address.plane,
+            address.block,
+            address.page,
+        )
+        u = _unit(self.seed, self._epoch, _DOMAIN_PROGRAM, *site)
+        if u >= plan.program_fail_rate:
+            return 0
+        depth_u = _unit(self.seed, self._epoch, _DOMAIN_PROGRAM_DEPTH, *site)
+        depth = 1 + int(depth_u * plan.program_retry_max)
+        depth = min(depth, plan.program_retry_max)
+        self.counts.programs_with_retry += 1
+        self.counts.program_retries += depth
         return depth
 
     # ------------------------------------------------------------------

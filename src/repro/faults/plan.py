@@ -89,6 +89,10 @@ class FaultPlan:
     crc_error_rate: float = 0.0
     #: maximum re-transfers of one page before the controller gives up
     crc_retry_max: int = 2
+    #: probability one page program fails verify (reprogram passes)
+    program_fail_rate: float = 0.0
+    #: maximum extra program passes one page write can cost
+    program_retry_max: int = 3
     #: probability a chip is dead from t=0 (ambient infant mortality)
     chip_failure_rate: float = 0.0
     #: probability an accelerator is dead from t=0
@@ -100,6 +104,7 @@ class FaultPlan:
         for name in (
             "read_retry_rate",
             "crc_error_rate",
+            "program_fail_rate",
             "chip_failure_rate",
             "accel_failure_rate",
         ):
@@ -110,6 +115,8 @@ class FaultPlan:
             raise ValueError("read_retry_max must be at least 1")
         if self.crc_retry_max < 1:
             raise ValueError("crc_retry_max must be at least 1")
+        if self.program_retry_max < 1:
+            raise ValueError("program_retry_max must be at least 1")
         if not isinstance(self.failures, tuple):
             object.__setattr__(self, "failures", tuple(self.failures))
 
@@ -125,6 +132,7 @@ class FaultPlan:
         return (
             self.read_retry_rate == 0.0
             and self.crc_error_rate == 0.0
+            and self.program_fail_rate == 0.0
             and self.chip_failure_rate == 0.0
             and self.accel_failure_rate == 0.0
             and not self.failures
@@ -139,6 +147,11 @@ class FaultPlan:
     def injects_transfer_faults(self) -> bool:
         """Whether bus transfers need a fault check at all."""
         return self.crc_error_rate > 0.0
+
+    @property
+    def injects_program_faults(self) -> bool:
+        """Whether page programs (the write path) need a fault check."""
+        return self.program_fail_rate > 0.0
 
     @property
     def injects_hard_failures(self) -> bool:
@@ -199,6 +212,11 @@ class FaultPlan:
             )
         if self.crc_error_rate:
             parts.append(f"bus-CRC {self.crc_error_rate:g}")
+        if self.program_fail_rate:
+            parts.append(
+                f"program-fail {self.program_fail_rate:g}"
+                f" (<= {self.program_retry_max} passes)"
+            )
         if self.chip_failure_rate:
             parts.append(f"chip-death {self.chip_failure_rate:g}")
         if self.accel_failure_rate:

@@ -1,0 +1,399 @@
+"""Index staleness and background compaction.
+
+A clustered (IVF) layout is a bet that the database does not move.  Once
+ingest is live the bet decays: inserted rows land in an **unclustered
+delta region** the probe-selection rule never visits, and tombstoned
+rows keep occupying clustered pages.  :class:`DeltaAwareSearch` makes
+that decay *measurable* — probed recall against the exact snapshot
+top-K drifts down as the delta fraction grows (scanning the delta too
+buys recall back at latency cost).
+
+:class:`CompactionJob` is the repair: a background job on the DES
+timeline that re-clusters the delta back into the layout chunk by
+chunk, through the measured write path (so the repair bandwidth shows
+up as GC/WA, not as free work).  The job is **preemptible** — a
+foreground query cancels the in-flight chunk and pushes it past the
+query's completion, trading compaction progress for query latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.deepstore import DeepStoreSystem
+from repro.core.reorganize import ClusteredLayout, kmeans_lite
+from repro.core.topk import topk_select
+from repro.ingest.store import IngestError, MutableFeatureStore, Snapshot
+from repro.nn.graph import Graph
+from repro.sim import Event, Simulator
+from repro.ssd.ftl import DatabaseMetadata
+
+
+# ----------------------------------------------------------------------
+# delta-aware probed search
+# ----------------------------------------------------------------------
+@dataclass
+class DeltaSearchResult:
+    """Outcome of one probed query over a (possibly stale) layout."""
+
+    feature_ids: np.ndarray
+    scores: np.ndarray
+    probed_rows: int
+    delta_rows: int
+    total_visible: int
+    scan_seconds: float
+
+    @property
+    def scan_fraction(self) -> float:
+        return self.probed_rows / max(1, self.total_visible)
+
+    def recall_against(self, exact_ids: np.ndarray) -> float:
+        """Fraction of the exact snapshot top-K this result recovered."""
+        if len(exact_ids) == 0:
+            return 1.0
+        got = set(int(i) for i in self.feature_ids)
+        return len(got & set(int(i) for i in exact_ids)) / len(exact_ids)
+
+
+class DeltaAwareSearch:
+    """Probed IVF search over a mutable store with a delta region.
+
+    The layout clusters only the rows covered at the last compaction
+    (``store.clustered_ids``); rows inserted since live in the delta and
+    are *invisible* to probing unless ``include_delta=True`` — exactly
+    the staleness/latency trade the lifecycle benchmark sweeps.
+    """
+
+    def __init__(
+        self,
+        store: MutableFeatureStore,
+        graph: Graph,
+        n_clusters: int = 16,
+        system: Optional[DeepStoreSystem] = None,
+        seed: int = 0,
+    ):
+        if n_clusters <= 0:
+            raise IngestError("n_clusters must be positive")
+        self.store = store
+        self.graph = graph
+        self.n_clusters = n_clusters
+        self.system = system or DeepStoreSystem.at_level("channel")
+        self.seed = seed
+        self.layout: ClusteredLayout = self._cluster(store.clustered_ids)
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    def _cluster(self, ids: np.ndarray) -> ClusteredLayout:
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) == 0:
+            raise IngestError("cannot cluster an empty id set")
+        rows = self.store.rows(ids)
+        k = min(self.n_clusters, len(ids))
+        centroids, assignments = kmeans_lite(rows, k, seed=self.seed)
+        clusters = [ids[assignments == j] for j in range(k)]
+        return ClusteredLayout(centroids=centroids, clusters=clusters)
+
+    def rebuild(self, snapshot: Snapshot) -> None:
+        """Re-cluster everything visible at ``snapshot`` (compaction)."""
+        self.layout = self._cluster(self.store.visible_ids(snapshot))
+        self.rebuilds += 1
+
+    # ------------------------------------------------------------------
+    def _score_rows(self, qfv: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        q_id, d_id = self.graph.input_ids
+        q_shape = self.graph.shape_of(q_id)
+        d_shape = self.graph.shape_of(d_id)
+        batch = rows.reshape((-1, *d_shape))
+        tiled = np.broadcast_to(qfv.reshape(q_shape), (len(rows), *q_shape))
+        out = self.graph.forward(
+            {q_id: np.ascontiguousarray(tiled), d_id: np.ascontiguousarray(batch)}
+        )
+        return out.reshape(-1)
+
+    def _score(self, qfv: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        return self._score_rows(qfv, self.store.rows(ids))
+
+    def _probed_ids(self, qfv: np.ndarray, n_probe: int) -> np.ndarray:
+        """Ids covered by the ``n_probe`` best clusters for this query.
+
+        The SCN is non-metric, so nearest-centroid-by-distance probing
+        (the classic IVF rule) is uncorrelated with the actual ranking;
+        instead the **SCN itself scores the centroids** and the
+        top-scoring clusters are probed — the centroid acts as a stand-in
+        for its members under the real model.
+        """
+        if not 1 <= n_probe <= self.layout.n_clusters:
+            raise IngestError(
+                f"n_probe={n_probe} out of range [1, {self.layout.n_clusters}]"
+            )
+        scores = self._score_rows(
+            qfv, self.layout.centroids.astype(np.float32)
+        )
+        order = np.argsort(-scores)[:n_probe]
+        return np.concatenate([self.layout.clusters[j] for j in order])
+
+    def _scan_seconds(self, n_rows: int) -> float:
+        meta = DatabaseMetadata(
+            db_id=0,
+            feature_bytes=self.store.dim * 4,
+            feature_count=max(1, n_rows),
+            page_bytes=self.system.ssd.geometry.page_bytes,
+        )
+        meta.extents = []  # latency model only uses counts/ratios
+        return self.system.latency_for(
+            self.graph, meta, feature_bytes=self.store.dim * 4,
+            name=self.graph.name,
+        ).total_seconds
+
+    def query(
+        self,
+        qfv: np.ndarray,
+        k: int,
+        n_probe: int,
+        include_delta: bool = False,
+        snapshot: Optional[Snapshot] = None,
+    ) -> DeltaSearchResult:
+        """Top-K over the probed clusters (optionally plus the delta)."""
+        if k <= 0:
+            raise IngestError("K must be positive")
+        snap = snapshot or self.store.snapshot()
+        qfv = np.asarray(qfv, dtype=np.float32).reshape(-1)
+        probed = self._probed_ids(qfv, n_probe)
+        # tombstones in probed clusters are filtered from results but
+        # their pages were still read — count them in the scanned rows
+        probed_cost = len(probed)
+        alive = probed[
+            np.fromiter(
+                (self.store.is_visible(int(i), snap) for i in probed),
+                dtype=bool,
+                count=len(probed),
+            )
+        ] if len(probed) else probed
+        delta = self.store.delta_ids(snap)
+        delta_rows = len(delta)
+        scanned_ids = alive
+        scanned_cost = probed_cost
+        if include_delta and delta_rows:
+            scanned_ids = np.concatenate([alive, delta])
+            scanned_cost += delta_rows
+        if len(scanned_ids) == 0:
+            raise IngestError("probed clusters hold no visible rows")
+        scores = self._score(qfv, scanned_ids)
+        pairs = [
+            (float(scores[i]), int(scanned_ids[i]))
+            for i in range(len(scanned_ids))
+        ]
+        best = topk_select(pairs, k)
+        return DeltaSearchResult(
+            feature_ids=np.asarray([fid for _, fid in best], dtype=np.int64),
+            scores=np.asarray([s for s, _ in best], dtype=np.float32),
+            probed_rows=scanned_cost,
+            delta_rows=delta_rows,
+            total_visible=len(self.store.visible_ids(snap)),
+            scan_seconds=self._scan_seconds(scanned_cost),
+        )
+
+    def exact_topk(self, qfv: np.ndarray, k: int,
+                   snapshot: Optional[Snapshot] = None) -> np.ndarray:
+        """Ground truth: exact top-K over everything visible."""
+        snap = snapshot or self.store.snapshot()
+        visible = self.store.visible_ids(snap)
+        qfv = np.asarray(qfv, dtype=np.float32).reshape(-1)
+        scores = self._score(qfv, visible)
+        pairs = [(float(scores[i]), int(visible[i])) for i in range(len(visible))]
+        return np.asarray(
+            [fid for _, fid in topk_select(pairs, k)], dtype=np.int64
+        )
+
+
+# ----------------------------------------------------------------------
+# the background compaction job
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When and how aggressively to compact."""
+
+    #: start a compaction once delta_fraction exceeds this
+    delta_threshold: float = 0.25
+    #: rows rewritten per DES chunk (smaller = more preemptible)
+    chunk_rows: int = 256
+    #: idle gap inserted after each chunk (bandwidth throttle)
+    min_gap_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.delta_threshold < 1:
+            raise IngestError("delta_threshold must be in (0, 1)")
+        if self.chunk_rows <= 0:
+            raise IngestError("chunk_rows must be positive")
+        if self.min_gap_s < 0:
+            raise IngestError("min_gap_s cannot be negative")
+
+
+@dataclass
+class CompactionReport:
+    """What one compaction run did and what it cost."""
+
+    started_s: float
+    finished_s: float
+    rows_rewritten: int
+    reclaimed_rows: int
+    chunks: int
+    preemptions: int
+    write_seconds: float
+    delta_before: float
+    delta_after: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.finished_s - self.started_s
+
+
+class CompactionJob:
+    """Chunked, preemptible re-clustering on the DES timeline.
+
+    The job snapshots the store when started; rows mutated *after* the
+    snapshot simply land in the next delta.  Each chunk rewrites
+    ``policy.chunk_rows`` rows through the device's write path and
+    schedules the next chunk after the measured write time; a query can
+    :meth:`preempt` the pending chunk to any later time.  On the last
+    chunk the store is marked compacted and the search layout rebuilt.
+    """
+
+    def __init__(
+        self,
+        device,  # LifecycleDevice (kept untyped to avoid an import cycle)
+        db_id: int,
+        search: Optional[DeltaAwareSearch] = None,
+        policy: Optional[CompactionPolicy] = None,
+    ):
+        self.device = device
+        self.db_id = db_id
+        self.search = search
+        self.policy = policy or CompactionPolicy()
+        self.active = False
+        self.report: Optional[CompactionReport] = None
+        self._sim: Optional[Simulator] = None
+        self._event: Optional[Event] = None
+        self._snapshot: Optional[Snapshot] = None
+        self._pending: List[int] = []
+        self._done_chunks = 0
+        self._preemptions = 0
+        self._write_seconds = 0.0
+        self._started_s = 0.0
+        self._delta_before = 0.0
+        self._on_done: Optional[Callable[[CompactionReport], None]] = None
+
+    # ------------------------------------------------------------------
+    def due(self) -> bool:
+        """Whether the policy says a compaction should start now."""
+        state = self.device.lifecycle(self.db_id)
+        return (
+            not self.active
+            and state.store.delta_fraction() > self.policy.delta_threshold
+        )
+
+    def start(
+        self,
+        sim: Simulator,
+        on_done: Optional[Callable[[CompactionReport], None]] = None,
+    ) -> None:
+        """Snapshot the store and schedule the first chunk."""
+        if self.active:
+            raise IngestError("compaction already running")
+        state = self.device.lifecycle(self.db_id)
+        self._sim = sim
+        self._snapshot = state.store.snapshot()
+        self._delta_before = state.store.delta_fraction(self._snapshot)
+        delta = state.store.delta_ids(self._snapshot)
+        self._pending = [
+            int(i) for i in delta if state.writepath.has_row(int(i))
+        ]
+        self._done_chunks = 0
+        self._rows_rewritten = 0
+        self._preemptions = 0
+        self._write_seconds = 0.0
+        self._started_s = sim.now
+        self._on_done = on_done
+        self.active = True
+        self.report = None
+        self._event = sim.schedule(sim.now, self._chunk, label="compact-chunk")
+
+    def preempt(self, resume_at: float) -> bool:
+        """A foreground query runs until ``resume_at``; yield to it.
+
+        The in-flight chunk is suspended for the query's duration —
+        its completion slips by ``resume_at - now`` — because the query
+        owns the channels while it scans (the paper's busy-signal rule).
+        Returns True if a chunk was actually displaced.
+        """
+        if not self.active or self._event is None or self._sim is None:
+            return False
+        delay = resume_at - self._sim.now
+        if self._event.cancelled or delay <= 0:
+            return False
+        new_time = self._event.time + delay
+        self._event.cancel()
+        self._preemptions += 1
+        self._event = self._sim.schedule(
+            new_time, self._chunk, label="compact-chunk"
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    def _chunk(self) -> None:
+        assert self._sim is not None and self._snapshot is not None
+        state = self.device.lifecycle(self.db_id)
+        chunk = self._pending[: self.policy.chunk_rows]
+        self._pending = self._pending[len(chunk) :]
+        seconds = 0.0
+        if chunk:
+            op = state.writepath.rewrite(chunk)
+            seconds = op.seconds
+            self._write_seconds += seconds
+            self._done_chunks += 1
+            self._rows_rewritten += len(chunk)
+        if self._pending:
+            self._event = self._sim.schedule(
+                self._sim.now + seconds + self.policy.min_gap_s,
+                self._chunk,
+                label="compact-chunk",
+            )
+            return
+        self._finish(state, seconds)
+
+    def _finish(self, state, last_chunk_seconds: float) -> None:
+        assert self._sim is not None and self._snapshot is not None
+        # reclaim tombstones covered by the snapshot
+        dead = [
+            fid
+            for fid in range(self._snapshot.n_rows)
+            if not state.store.is_visible(fid, self._snapshot)
+            and state.writepath.has_row(fid)
+        ]
+        if dead:
+            self._write_seconds += state.writepath.delete(dead).seconds
+        reclaimed = state.store.mark_compacted(self._snapshot)
+        if self.search is not None:
+            self.search.rebuild(self._snapshot)
+        state.write_seconds += self._write_seconds
+        state.compactions += 1
+        self.device.metrics.counter("ingest.compactions").inc()
+        self.device.metrics.counter("ingest.reclaimed_rows").inc(reclaimed)
+        self.active = False
+        self._event = None
+        self.report = CompactionReport(
+            started_s=self._started_s,
+            finished_s=self._sim.now + last_chunk_seconds,
+            rows_rewritten=self._rows_rewritten,
+            reclaimed_rows=reclaimed,
+            chunks=self._done_chunks,
+            preemptions=self._preemptions,
+            write_seconds=self._write_seconds,
+            delta_before=self._delta_before,
+            delta_after=state.store.delta_fraction(),
+        )
+        if self._on_done is not None:
+            self._on_done(self.report)

@@ -1,0 +1,418 @@
+"""A DeepStore device whose databases mutate while serving queries.
+
+:class:`LifecycleDevice` extends :class:`repro.core.api.DeepStoreDevice`
+with the data-lifecycle verbs — ``insert_db`` / ``delete_db_rows`` /
+``update_db_row`` / ``compact_db`` — wired to three mechanisms:
+
+1. **Epoch snapshots** (:class:`repro.ingest.store.MutableFeatureStore`)
+   — every query scans a consistent view; tombstoned ids never appear
+   in results, and results are exact top-K over the rows visible at the
+   query's snapshot (property-tested against an oracle replay).
+2. **The measured write path**
+   (:class:`repro.ingest.writepath.IngestWritePath`) — inserts and
+   compaction moves flow through the page-mapped FTL, so GC pressure
+   and write amplification come from the FTL's own counters, and the
+   resulting bus occupancy slows query scans through
+   :class:`repro.ssd.host_io.InterferenceModel`.
+3. **Epoch-tagged query-cache invalidation** (inherited) — a result
+   cached before a mutation can never satisfy a query issued after it.
+
+**Differential parity**: with ingest enabled but *zero mutations*, every
+query delegates to the unmodified base-class path, so ids, scores,
+latencies, and cache behaviour are bit-identical to a static device —
+the lifecycle layer costs nothing until the database actually moves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.api import DeepStoreApiError, DeepStoreDevice, QueryHandle
+from repro.core.topk import topk_select
+from repro.ingest.store import MutableFeatureStore, Snapshot
+from repro.ingest.writepath import IngestWritePath, WriteOp
+from repro.obs.metrics import MetricsRegistry
+from repro.ssd.host_io import HostIoWorkload, InterferenceModel, POLICIES
+
+
+@dataclass
+class LifecycleState:
+    """Per-database lifecycle machinery."""
+
+    store: MutableFeatureStore
+    writepath: IngestWritePath
+    #: modelled seconds spent on mutations + compactions so far
+    write_seconds: float = 0.0
+    compactions: int = 0
+
+
+@dataclass(frozen=True)
+class DeviceCompaction:
+    """Outcome of one device-level compaction pass."""
+
+    seconds: float
+    reclaimed_rows: int
+    rewritten_rows: int
+    write_amplification: float
+
+
+@dataclass
+class _BackgroundWrites:
+    workload: HostIoWorkload
+    policy: str = "share"
+
+
+class LifecycleDevice(DeepStoreDevice):
+    """``DeepStoreDevice`` + online ingest, one subclass."""
+
+    def __init__(self, *args, metrics: Optional[MetricsRegistry] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._lifecycles: Dict[int, LifecycleState] = {}
+        self._background: Optional[_BackgroundWrites] = None
+        self._interference = InterferenceModel(self.ssd.config)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # lifecycle management
+    # ------------------------------------------------------------------
+    def enable_ingest(
+        self,
+        db_id: int,
+        op_fraction: float = 0.07,
+        region_blocks: int = 64,
+        region_pages_per_block: int = 64,
+        injector=None,
+    ) -> None:
+        """Arm a database for mutation (idempotent until first mutation)."""
+        if db_id in self._lifecycles:
+            return
+        meta = self.ssd.ftl.get(db_id)
+        base = self._store(db_id)
+        store = MutableFeatureStore(base)
+        writepath = IngestWritePath(
+            self.ssd,
+            meta.feature_bytes,
+            op_fraction=op_fraction,
+            blocks=region_blocks,
+            pages_per_block=region_pages_per_block,
+        )
+        # the base rows are already on flash (written by write_db); seed
+        # the page map so deletes/compactions can address them, then
+        # zero the counters so WA reflects mutation traffic only
+        writepath.append(range(store.n_rows))
+        writepath.reset_stats()
+        # attach write faults only after seeding, so program-retry
+        # counters reflect mutation traffic rather than the base load
+        writepath.injector = injector
+        self._lifecycles[db_id] = LifecycleState(store=store, writepath=writepath)
+
+    def lifecycle(self, db_id: int) -> LifecycleState:
+        """The lifecycle state of an ingest-enabled database."""
+        state = self._lifecycles.get(db_id)
+        if state is None:
+            raise DeepStoreApiError(
+                f"database {db_id} is not ingest-enabled (call enable_ingest)"
+            )
+        return state
+
+    def ingest_enabled(self, db_id: int) -> bool:
+        """Whether ``db_id`` has been armed for mutation."""
+        return db_id in self._lifecycles
+
+    # ------------------------------------------------------------------
+    # mutation verbs
+    # ------------------------------------------------------------------
+    def insert_db(self, db_id: int, features: np.ndarray) -> np.ndarray:
+        """Stream new rows in; returns their stable feature ids."""
+        state = self.lifecycle(db_id)
+        features = self._check_features(features)
+        ids = state.store.insert(features)
+        # keep the base functional store + block-FTL metadata in sync so
+        # scans, readDB, and ObjectIDs cover the new rows
+        super().append_db(db_id, features)
+        op = state.writepath.append(ids)
+        self._account(state, op)
+        self.metrics.counter("ingest.inserts").inc(len(ids))
+        self._publish_gauges(db_id, state)
+        return ids
+
+    def delete_db_rows(self, db_id: int, ids: Sequence[int]) -> None:
+        """Tombstone rows; flash pages are reclaimed at compaction."""
+        state = self.lifecycle(db_id)
+        try:
+            state.store.delete(ids)
+        except Exception as exc:
+            raise DeepStoreApiError(str(exc)) from exc
+        self._note_mutation(db_id)
+        self.metrics.counter("ingest.deletes").inc(len(list(ids)))
+        self._publish_gauges(db_id, state)
+
+    def update_db_row(self, db_id: int, fid: int, feature: np.ndarray) -> int:
+        """Replace one row (tombstone + re-insert); returns the new id."""
+        self.delete_db_rows(db_id, [fid])
+        new_ids = self.insert_db(
+            db_id, np.asarray(feature, dtype=np.float32).reshape(1, -1)
+        )
+        self.metrics.counter("ingest.updates").inc()
+        return int(new_ids[0])
+
+    def compact_db(self, db_id: int) -> DeviceCompaction:
+        """Reclaim tombstones and densify the delta region on flash.
+
+        Results are unaffected (compaction moves rows, it does not
+        change visibility), so the epoch does not advance and cached
+        results stay valid; what changes is the *cost*: scans stop
+        paying for dead pages.
+        """
+        state = self.lifecycle(db_id)
+        snap = state.store.snapshot()
+        dead = [
+            fid
+            for fid in range(snap.n_rows)
+            if not state.store.is_visible(fid, snap)
+            and state.writepath.has_row(fid)
+        ]
+        delta = [
+            int(fid)
+            for fid in state.store.delta_ids(snap)
+            if state.writepath.has_row(int(fid))
+        ]
+        seconds = 0.0
+        if dead:
+            seconds += state.writepath.delete(dead).seconds
+        if delta:
+            seconds += state.writepath.rewrite(delta).seconds
+        reclaimed = state.store.mark_compacted(snap)
+        state.write_seconds += seconds
+        state.compactions += 1
+        self.metrics.counter("ingest.compactions").inc()
+        self.metrics.counter("ingest.reclaimed_rows").inc(reclaimed)
+        self._publish_gauges(db_id, state)
+        return DeviceCompaction(
+            seconds=seconds,
+            reclaimed_rows=reclaimed,
+            rewritten_rows=len(delta),
+            write_amplification=state.writepath.write_amplification,
+        )
+
+    # ------------------------------------------------------------------
+    # interference coupling
+    # ------------------------------------------------------------------
+    def set_background_write_load(
+        self, offered_load: float, policy: str = "share", read_fraction: float = 0.0
+    ) -> None:
+        """Declare the bus fraction background ingest currently occupies.
+
+        Use :meth:`repro.ingest.writepath.IngestWritePath.offered_load`
+        to turn a raw ingest bandwidth fraction into this number (it
+        multiplies in the measured write amplification).  ``0`` clears
+        the interference.
+        """
+        if policy not in POLICIES:
+            raise DeepStoreApiError(
+                f"unknown policy {policy!r}; choose from {POLICIES}"
+            )
+        if offered_load <= 0:
+            self._background = None
+            return
+        self._background = _BackgroundWrites(
+            workload=HostIoWorkload(
+                offered_load=min(1.0, offered_load), read_fraction=read_fraction
+            ),
+            policy=policy,
+        )
+
+    def _interfered(self, latency):
+        """Stretch the scan's I/O-bound share under background writes."""
+        if self._background is None:
+            return latency
+        limiting = max(
+            latency.compute_spf, latency.io_spf, latency.bus_weight_spf
+        )
+        io_fraction = latency.io_spf / limiting if limiting > 0 else 1.0
+        result = self._interference.evaluate(
+            self._background.workload,
+            self._background.policy,
+            scan_io_fraction=min(1.0, io_fraction),
+        )
+        return dataclasses.replace(
+            latency, scan_seconds=latency.scan_seconds * result.scan_slowdown
+        )
+
+    # ------------------------------------------------------------------
+    # query (snapshot-consistent path)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        qfv: np.ndarray,
+        k: int,
+        model_id: int,
+        db_id: int,
+        db_start: int = 0,
+        db_end: Optional[int] = None,
+        accel_level: Optional[str] = None,
+    ) -> QueryHandle:
+        state = self._lifecycles.get(db_id)
+        if state is None or state.store.epoch == 0:
+            # zero-mutation parity: the static path, bit for bit
+            return super().query(
+                qfv, k, model_id, db_id, db_start, db_end, accel_level
+            )
+        return self._query_mutable(
+            state, qfv, k, model_id, db_id, db_start, db_end, accel_level
+        )
+
+    def _query_mutable(
+        self,
+        state: LifecycleState,
+        qfv: np.ndarray,
+        k: int,
+        model_id: int,
+        db_id: int,
+        db_start: int,
+        db_end: Optional[int],
+        accel_level: Optional[str],
+    ) -> QueryHandle:
+        if k <= 0:
+            raise DeepStoreApiError("K must be positive")
+        graph = self._models.get(model_id)
+        if graph is None:
+            raise DeepStoreApiError(f"unknown model id {model_id}")
+        store_rows = self._store(db_id)
+        meta = self.ssd.ftl.get(db_id)
+        db_end = len(store_rows) if db_end is None else db_end
+        if not 0 <= db_start < db_end <= len(store_rows):
+            raise DeepStoreApiError(f"bad db range [{db_start}, {db_end})")
+        level = accel_level or self.level
+        system = self._system(level)
+        if not system.supports(graph):
+            raise DeepStoreApiError(
+                f"model {graph.name!r} is not supported at the {level} level"
+            )
+        qfv = np.asarray(qfv, dtype=np.float32).reshape(-1)
+        if qfv.size * 4 != meta.feature_bytes:
+            raise DeepStoreApiError(
+                f"QFV size {qfv.size * 4} bytes does not match database "
+                f"feature size {meta.feature_bytes}"
+            )
+
+        snap = state.store.snapshot()
+        cache_tag = (db_id, self._db_epochs.get(db_id, 0))
+        if self._cache is not None:
+            lookup = self._cache.lookup(qfv, tag=cache_tag)
+            if lookup.hit and lookup.entry is not None:
+                candidates = lookup.entry.topk_feature_ids
+                scores = self._score_features(graph, qfv, store_rows[candidates])
+                order = np.argsort(-scores)[:k]
+                result = self._build_result(
+                    meta, candidates[order], scores[order],
+                    self._hit_latency(graph, meta, lookup.entries_scanned, k),
+                    cache_hit=True,
+                )
+                self.metrics.counter("ingest.query_cache_hits").inc()
+                return self._register(result)
+
+        ids, scores = self._scan_visible(
+            graph, qfv, store_rows, state, snap, db_start, db_end, k
+        )
+        scanned_rows = self._scanned_rows(state, snap, db_start, db_end)
+        sliced = self._sliced_meta(meta, max(1, scanned_rows))
+        if self._failed_accels:
+            count = system.placement.count(system.ssd)
+            bad = {i for i in self._failed_accels if i < count}
+            if len(bad) >= count:
+                raise DeepStoreApiError(
+                    "all accelerators failed; no degraded mode possible"
+                )
+            latency = system.degraded_latency_for(
+                graph,
+                sliced,
+                feature_bytes=meta.feature_bytes,
+                failed_accels=bad,
+                name=graph.name,
+            ).degraded
+        else:
+            latency = system.latency_for(
+                graph, sliced, feature_bytes=meta.feature_bytes, name=graph.name
+            )
+        latency = self._interfered(latency)
+        if self._cache is not None:
+            self._cache.insert(qfv, scores, ids, tag=cache_tag)
+            lookup_cost = len(self._cache) * self._cache_lookup_seconds_per_entry
+            latency = dataclasses.replace(
+                latency, engine_seconds=latency.engine_seconds + lookup_cost
+            )
+        result = self._build_result(meta, ids, scores, latency, cache_hit=False)
+        self.metrics.counter("ingest.queries").inc()
+        return self._register(result)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _scan_visible(
+        self,
+        graph,
+        qfv: np.ndarray,
+        store_rows: np.ndarray,
+        state: LifecycleState,
+        snap: Snapshot,
+        start: int,
+        end: int,
+        k: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact top-K over the rows visible at ``snap`` in the range."""
+        visible = state.store.visible_ids(snap)
+        visible = visible[(visible >= start) & (visible < end)]
+        if len(visible) == 0:
+            raise DeepStoreApiError(
+                f"no visible features in range [{start}, {end})"
+            )
+        pairs: List[Tuple[float, int]] = []
+        for chunk_start in range(0, len(visible), self.SCAN_CHUNK):
+            chunk_ids = visible[chunk_start : chunk_start + self.SCAN_CHUNK]
+            scores = self._score_features(graph, qfv, store_rows[chunk_ids])
+            take = min(k, len(scores))
+            top = np.argpartition(-scores, take - 1)[:take]
+            pairs.extend(
+                (float(scores[i]), int(chunk_ids[i])) for i in top
+            )
+        best = topk_select(pairs, k)
+        ids = np.asarray([fid for _, fid in best], dtype=np.int64)
+        scores_out = np.asarray([s for s, _ in best], dtype=np.float32)
+        return ids, scores_out
+
+    def _scanned_rows(
+        self, state: LifecycleState, snap: Snapshot, start: int, end: int
+    ) -> int:
+        """Rows the scan physically reads (tombstones included).
+
+        Tombstoned rows cost flash reads until a compaction reclaims
+        them; after one, the physically-present fraction shrinks and the
+        charged scan shrinks with it.
+        """
+        span = end - start
+        if state.store.n_rows == 0:
+            return span
+        density = state.store.physical_rows / state.store.n_rows
+        return max(1, int(round(span * density)))
+
+    def _account(self, state: LifecycleState, op: WriteOp) -> None:
+        state.write_seconds += op.seconds
+        self.metrics.counter("ingest.pages_written").inc(op.pages_written)
+        self.metrics.counter("ingest.gc_relocations").inc(op.relocations)
+        self.metrics.counter("ingest.gc_erases").inc(op.erases)
+
+    def _publish_gauges(self, db_id: int, state: LifecycleState) -> None:
+        self.metrics.gauge(f"ingest.db{db_id}.delta_fraction").set(
+            state.store.delta_fraction()
+        )
+        self.metrics.gauge(f"ingest.db{db_id}.tombstones").set(
+            float(state.store.n_tombstones)
+        )
+        self.metrics.gauge(f"ingest.db{db_id}.write_amplification").set(
+            state.writepath.write_amplification
+        )

@@ -30,7 +30,9 @@ from repro.serving.admission import (
     QueuedQuery,
 )
 from repro.serving.arrivals import (
+    INGEST_COMPAT,
     ArrivalEvent,
+    mixed_arrivals,
     offered_qps_of,
     poisson_arrivals,
     trace_arrivals,
@@ -53,7 +55,9 @@ from repro.serving.sweep import (
 
 __all__ = [
     "ArrivalEvent",
+    "INGEST_COMPAT",
     "poisson_arrivals",
+    "mixed_arrivals",
     "trace_arrivals",
     "offered_qps_of",
     "AdmissionQueue",

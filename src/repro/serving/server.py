@@ -41,7 +41,7 @@ from repro.core.query_cache import EmbeddingComparator, QueryCache
 from repro.obs.metrics import MetricsRegistry, percentile
 from repro.obs.tracer import Tracer
 from repro.serving.admission import AdmissionQueue, QueuedQuery
-from repro.serving.arrivals import ArrivalEvent, offered_qps_of
+from repro.serving.arrivals import INGEST_COMPAT, ArrivalEvent, offered_qps_of
 from repro.serving.batcher import BatchCostModel, BatchPolicy
 from repro.sim import Simulator
 from repro.ssd import Ssd
@@ -85,8 +85,12 @@ class ServingConfig:
     shard_placement: str = "range"
     #: dead cluster replicas: shard ids or (shard, replica) pairs
     fail_shards: Tuple = ()
+    #: rows one ingest arrival writes (sizes the write service time)
+    ingest_rows_per_op: int = 32
 
     def __post_init__(self) -> None:
+        if self.ingest_rows_per_op <= 0:
+            raise ValueError("ingest_rows_per_op must be positive")
         if self.features <= 0:
             raise ValueError("features must be positive")
         if self.n_servers <= 0:
@@ -128,6 +132,12 @@ class ServingResult:
     mean_batch: float
     utilization: float
     queue_peak: int
+    #: write-class traffic (mixed read/write workloads; zero otherwise).
+    #: Deliberately absent from :meth:`as_dict` so read-only scorecards
+    #: stay byte-stable.
+    ingest_arrived: int = 0
+    ingest_completed: int = 0
+    ingest_mean_latency_s: float = 0.0
 
     @property
     def shed(self) -> int:
@@ -192,9 +202,17 @@ class QueryServer:
         self.system = system or DeepStoreSystem.at_level("channel")
         self.metrics = metrics
         self.tracer = tracer if tracer is not None and tracer.enabled else None
-        self.meta = Ssd(self.system.ssd).ftl.create_database(
+        ssd = Ssd(self.system.ssd)
+        self.meta = ssd.ftl.create_database(
             self.app.feature_bytes, config.features
         )
+        # ingest service time: one write op streams ingest_rows_per_op
+        # rows through the host-write path; writes never batch with
+        # queries (INGEST_COMPAT) and serialize on a backend like a scan
+        write_meta = ssd.ftl.create_database(
+            self.app.feature_bytes, config.ingest_rows_per_op
+        )
+        self.ingest_op_seconds = ssd.database_write_seconds(write_meta)
         self.graph = self.app.build_scn()
         if config.clustered:
             # lazy import: repro.cluster.serving itself imports the
@@ -293,6 +311,7 @@ class QueryServer:
 
         idle: List[int] = list(range(config.n_servers))
         latencies: List[float] = []
+        ingest_latencies: List[float] = []
         waits: List[float] = []
         batch_sizes: List[int] = []
         class _RunState:
@@ -301,6 +320,8 @@ class QueryServer:
             busy_s = 0.0
             queue_peak = 0
             last_completion = 0.0
+            ingest_arrived = 0
+            ingest_completed = 0
 
         state = _RunState()
 
@@ -329,9 +350,19 @@ class QueryServer:
 
         def complete_query(query: QueuedQuery, now: float) -> None:
             latency = now - query.arrival_s + query.penalty_s
-            latencies.append(latency)
             state.completed += 1
             state.last_completion = max(state.last_completion, now)
+            if query.compat == INGEST_COMPAT:
+                # write class: tracked apart so read latency stays pure
+                ingest_latencies.append(latency)
+                state.ingest_completed += 1
+                if metrics is not None:
+                    metrics.counter("serving.ingest_completed").inc()
+                    metrics.histogram(
+                        "serving.ingest_latency_s"
+                    ).observe(latency)
+                return
+            latencies.append(latency)
             if metrics is not None:
                 metrics.counter("serving.completed").inc()
                 metrics.histogram("serving.latency_s").observe(latency)
@@ -351,7 +382,12 @@ class QueryServer:
                 if not batch:
                     return
                 server = idle.pop(0)
-                service = self.cost.service_seconds(len(batch))
+                if batch[0].compat == INGEST_COMPAT:
+                    # a write batch occupies a backend for the measured
+                    # host-write time of each op, serially
+                    service = self.ingest_op_seconds * len(batch)
+                else:
+                    service = self.cost.service_seconds(len(batch))
                 start = sim.now
                 batch_sizes.append(len(batch))
                 state.busy_s += service
@@ -407,6 +443,13 @@ class QueryServer:
         def arrive(event: ArrivalEvent, qid: int) -> None:
             if metrics is not None:
                 metrics.counter("serving.arrived").inc()
+            if event.kind == "ingest":
+                # write class: never consults the query cache
+                state.ingest_arrived += 1
+                if metrics is not None:
+                    metrics.counter("serving.ingest_arrived").inc()
+                admit(event, qid, 0.0)
+                return
             if self.cache is not None and event.qfv is not None:
                 lookup = self.cache.lookup(event.qfv)
                 lookup_s = (
@@ -485,4 +528,11 @@ class QueryServer:
                 else 0.0
             ),
             queue_peak=state.queue_peak,
+            ingest_arrived=state.ingest_arrived,
+            ingest_completed=state.ingest_completed,
+            ingest_mean_latency_s=(
+                sum(ingest_latencies) / len(ingest_latencies)
+                if ingest_latencies
+                else 0.0
+            ),
         )

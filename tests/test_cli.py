@@ -303,3 +303,58 @@ class TestClusterCommand:
         assert [row["shards"] for row in payload["scaling"]] == [1, 2, 4, 8]
         assert payload["failover"]["failovers"] >= 1
         assert payload["hedged"]["hedges_launched"] > 0
+
+
+class TestIngestCommand:
+    SMALL = ["ingest", "--base", "512", "--rounds", "2", "--queries", "4"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["ingest"])
+        assert args.app == "textqa"
+        assert args.base == 1024
+        assert args.rounds == 3
+        assert not args.scorecard
+
+    def test_parser_rejects_bad_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "--app", "nope"])
+
+    def test_human_output(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "staleness" in out
+        assert "compaction" in out
+        assert "write path" in out
+        assert "interference" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(self.SMALL + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["base"] == 512
+        assert payload["staleness"]["final_recall"] \
+            < payload["staleness"]["initial_recall"]
+        assert payload["writepath"]["write_amplification"] >= 1.0
+        assert payload["metrics"]["ingest.inserts"] > 0
+
+    def test_json_deterministic(self, capsys):
+        cmd = self.SMALL + ["--json", "--seed", "5"]
+        assert main(cmd) == 0
+        first = capsys.readouterr().out
+        assert main(cmd) == 0
+        assert capsys.readouterr().out == first
+
+    def test_scorecard_mode(self, capsys):
+        import json
+
+        assert main(["ingest", "--scorecard"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["app"] == "textqa"
+        assert payload["compaction"]["post_recall"] == pytest.approx(
+            payload["compaction"]["baseline_recall"], abs=0.01
+        )
+        assert set(payload["interference"]) == {
+            "slowdown_at_0", "slowdown_at_0.25",
+            "slowdown_at_0.5", "slowdown_at_0.75",
+        }

@@ -1,0 +1,85 @@
+"""Per-shard ingest routing, skew detection, and rebalance plans."""
+
+import pytest
+
+from repro.cluster import RebalancePlan, ShardIngestTracker
+
+
+class TestRouting:
+    def test_route_is_deterministic_and_in_range(self):
+        tracker = ShardIngestTracker(4, seed=3)
+        again = ShardIngestTracker(4, seed=3)
+        shards = [tracker.route(fid) for fid in range(200)]
+        assert shards == [again.route(fid) for fid in range(200)]
+        assert set(shards) <= set(range(4))
+
+    def test_hash_routing_spreads_sequential_ids(self):
+        tracker = ShardIngestTracker(4, min_inserts=10_000)
+        for fid in range(400):
+            tracker.record_routed(fid)
+        assert tracker.skew < 1.5  # sequential ids decorrelate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardIngestTracker(0)
+        with pytest.raises(ValueError):
+            ShardIngestTracker(4, skew_threshold=1.0)
+        with pytest.raises(ValueError):
+            ShardIngestTracker(4, min_inserts=0)
+        tracker = ShardIngestTracker(4)
+        with pytest.raises(ValueError):
+            tracker.record(7)
+        with pytest.raises(ValueError):
+            tracker.record(0, rows=0)
+
+
+class TestSkewDetection:
+    def test_no_plan_below_min_inserts(self):
+        tracker = ShardIngestTracker(4, min_inserts=64)
+        assert tracker.record(0, rows=63) is None
+        assert tracker.skew == pytest.approx(4.0)
+
+    def test_no_plan_when_level(self):
+        tracker = ShardIngestTracker(4, min_inserts=4)
+        for _ in range(100):  # round-robin never builds skew
+            for shard in range(4):
+                assert tracker.record(shard) is None
+        assert tracker.skew == pytest.approx(1.0)
+
+    def test_skewed_ingest_triggers_one_plan(self):
+        fired = []
+        tracker = ShardIngestTracker(
+            4, skew_threshold=2.0, min_inserts=64, on_rebalance=fired.append
+        )
+        plan = tracker.record(1, rows=100)  # all load on one shard
+        assert isinstance(plan, RebalancePlan)
+        assert fired == [plan]
+        assert plan.skew == pytest.approx(4.0)
+        assert plan.loads == (0, 100, 0, 0)
+        # the plan levels the shards exactly
+        assert plan.rows_moved == 75
+        assert {(m.src, m.rows) for m in plan.moves} == {(1, 25)} | set()
+        assert sorted(m.dst for m in plan.moves) == [0, 2, 3]
+        # tallies restart leveled: no second plan without fresh skew
+        assert tracker.skew == pytest.approx(1.0)
+        assert tracker.rebalances == 1
+        assert tracker.check() is None
+
+    def test_moves_conserve_rows(self):
+        tracker = ShardIngestTracker(5, skew_threshold=1.5, min_inserts=10)
+        tracker.record(0, rows=9)
+        plan = tracker.record(2, rows=41)
+        assert plan is not None
+        total = sum(plan.loads)
+        leveled = list(plan.loads)
+        for move in plan.moves:
+            leveled[move.src] -= move.rows
+            leveled[move.dst] += move.rows
+        assert sum(leveled) == total
+        assert max(leveled) - min(leveled) <= 1
+
+    def test_total_inserts_survive_rebalances(self):
+        tracker = ShardIngestTracker(2, skew_threshold=1.5, min_inserts=8)
+        tracker.record(0, rows=50)
+        tracker.record(0, rows=50)
+        assert tracker.total_inserts == 100

@@ -205,6 +205,38 @@ class TestQueryCacheIntegration:
         second = device.get_results(device.query(qfv, 5, tir_model, db))
         assert set(second.feature_ids.tolist()) <= set(first.feature_ids.tolist())
 
+    def test_no_stale_hit_after_append(self, device, tir_db, tir_model, rng):
+        """Regression: a mutation must invalidate cached results.
+
+        Before epoch tagging, a query cached before ``append_db`` could
+        hit afterwards and return a top-K that ignores the appended
+        features entirely.
+        """
+        db, _ = tir_db
+        device.set_qc(threshold=0.10, capacity=16)
+        qfv = rng.normal(0, 1, 512).astype(np.float32)
+        first = device.get_results(device.query(qfv, 5, tir_model, db))
+        assert not first.cache_hit
+        # plant appended features that dominate the ranking for qfv
+        graph = device._models[tir_model]
+        base = device.read_db(db)
+        scores = device._score_features(graph, qfv, base)
+        winners = base[np.argsort(-scores)[:8]]
+        device.append_db(db, winners + rng.normal(0, 1e-3, winners.shape).astype(np.float32))
+        second = device.get_results(device.query(qfv, 5, tir_model, db))
+        assert not second.cache_hit  # the stale entry must not satisfy this
+        assert any(int(i) >= len(base) for i in second.feature_ids)
+        # and the mutation dropped the stale entry outright
+        assert device.query_cache.invalidations >= 1
+
+    def test_epoch_advances_on_append(self, device, rng):
+        db = device.write_db(rng.normal(0, 1, (32, 64)).astype(np.float32))
+        assert device.db_epoch(db) == 0
+        device.append_db(db, rng.normal(0, 1, (8, 64)).astype(np.float32))
+        assert device.db_epoch(db) == 1
+        device.append_db(db, rng.normal(0, 1, (8, 64)).astype(np.float32))
+        assert device.db_epoch(db) == 2
+
     def test_unrelated_query_misses(self, device, tir_db, tir_model, rng):
         db, _ = tir_db
         device.set_qc(threshold=0.10, capacity=16)

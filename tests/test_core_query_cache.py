@@ -205,3 +205,42 @@ class TestCacheSimulator:
         timing = CacheTimingModel(1e-6, 1e-4, 1e-2)
         assert timing.query_seconds(True, 100) == pytest.approx(1e-4 + 1e-4)
         assert timing.query_seconds(False, 100) > 1e-2
+
+
+class TestEpochTags:
+    """Tag-filtered lookups and mutation invalidation."""
+
+    def test_tagged_lookup_ignores_other_tags(self):
+        cache = make_cache()
+        qfv = np.ones(16, dtype=np.float32)
+        cache.insert(qfv, np.zeros(4), np.arange(4), tag=(1, 0))
+        assert cache.lookup(qfv, tag=(1, 0)).hit
+        assert not cache.lookup(qfv, tag=(1, 1)).hit  # later epoch
+        assert not cache.lookup(qfv, tag=(2, 0)).hit  # other database
+
+    def test_untagged_lookup_scans_everything(self):
+        cache = make_cache()
+        qfv = np.ones(16, dtype=np.float32)
+        cache.insert(qfv, np.zeros(4), np.arange(4), tag=(1, 0))
+        assert cache.lookup(qfv).hit
+
+    def test_invalidate_tag_prefix(self):
+        cache = make_cache(capacity=16)
+        a = np.ones(16, dtype=np.float32)
+        b = -np.ones(16, dtype=np.float32)
+        cache.insert(a, np.zeros(4), np.arange(4), tag=(1, 0))
+        cache.insert(b, np.zeros(4), np.arange(4), tag=(2, 0))
+        assert cache.invalidate_tag_prefix((1,)) == 1
+        assert cache.invalidations == 1
+        assert len(cache) == 1
+        assert not cache.lookup(a, tag=(1, 0)).hit
+        assert cache.lookup(b, tag=(2, 0)).hit
+
+    def test_entries_scanned_counts_only_matching_tag(self):
+        cache = make_cache(capacity=16)
+        rng = np.random.default_rng(0)
+        for i in range(5):
+            cache.insert(rng.normal(0, 1, 16), np.zeros(4), np.arange(4), tag=(1, 0))
+        cache.insert(rng.normal(0, 1, 16), np.zeros(4), np.arange(4), tag=(2, 0))
+        probe = rng.normal(0, 1, 16).astype(np.float32)
+        assert cache.lookup(probe, tag=(1, 0)).entries_scanned == 5

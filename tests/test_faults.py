@@ -449,3 +449,87 @@ class TestFaultsCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["slowdown"] >= 1.0
         assert payload["queries"] == 1
+
+
+class TestProgramFaults:
+    """Write-path (program-verify) faults for the ingest subsystem."""
+
+    def test_plan_validation_and_description(self):
+        with pytest.raises(ValueError):
+            FaultPlan(program_fail_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(program_retry_max=0)
+        plan = FaultPlan(program_fail_rate=0.2, program_retry_max=2)
+        assert not plan.is_zero
+        assert plan.injects_program_faults
+        assert "program-fail" in plan.describe()
+        assert not FaultPlan.none().injects_program_faults
+
+    def test_zero_rate_counts_programs_but_never_retries(self):
+        inj = FaultInjector(plan=FaultPlan(read_retry_rate=0.5), seed=0)
+        for page in range(32):
+            assert inj.page_program_retries(addr(page=page)) == 0
+        assert inj.counts.page_programs == 32
+        assert inj.counts.program_retries == 0
+        assert inj.counts.programs_with_retry == 0
+
+    def test_retries_are_deterministic_and_bounded(self):
+        plan = FaultPlan(program_fail_rate=0.5, program_retry_max=3)
+        a = FaultInjector(plan=plan, seed=11)
+        b = FaultInjector(plan=plan, seed=11)
+        sites = [addr(block=i % 4, page=i) for i in range(64)]
+        draws = [a.page_program_retries(s) for s in sites]
+        assert draws == [b.page_program_retries(s) for s in sites]
+        assert any(draws)  # rate 0.5 over 64 sites must fire somewhere
+        assert all(0 <= d <= 3 for d in draws)
+        assert a.counts.programs_with_retry == sum(1 for d in draws if d)
+        assert a.counts.program_retries == sum(draws)
+
+    def test_program_faults_leave_read_draws_untouched(self):
+        # separate hash domains: arming write faults must not reshuffle
+        # the read-retry pattern an experiment already depends on
+        reads_only = FaultInjector(plan=FaultPlan(read_retry_rate=0.3), seed=5)
+        both = FaultInjector(
+            plan=FaultPlan(read_retry_rate=0.3, program_fail_rate=0.9), seed=5
+        )
+        sites = [addr(block=i // 8, page=i % 8) for i in range(48)]
+        assert [reads_only.page_read_retries(s) for s in sites] == [
+            both.page_read_retries(s) for s in sites
+        ]
+
+    def test_writepath_charges_program_retries(self, ssd):
+        from repro.ingest import IngestWritePath
+        from repro.ssd import Ssd
+
+        app = get_app("textqa")
+        inj = FaultInjector(
+            plan=FaultPlan(program_fail_rate=1.0, program_retry_max=2), seed=0
+        )
+        faulty = IngestWritePath(
+            ssd, app.feature_bytes, blocks=8, pages_per_block=16, injector=inj
+        )
+        clean = IngestWritePath(
+            Ssd(), app.feature_bytes, blocks=8, pages_per_block=16
+        )
+        slow = faulty.append(range(40))
+        fast = clean.append(range(40))
+        assert inj.counts.page_programs > 0
+        assert inj.counts.program_retries > 0
+        # every program drew at least one extra pass: strictly slower
+        assert slow.host_seconds > fast.host_seconds
+        assert slow.pages_written == fast.pages_written
+
+    def test_enable_ingest_attaches_injector_after_seeding(self, rng):
+        from repro.ingest import LifecycleDevice
+
+        device = LifecycleDevice()
+        db = device.write_db(rng.normal(0, 1, (64, 6)).astype(np.float32))
+        inj = FaultInjector(plan=FaultPlan(program_fail_rate=1.0), seed=0)
+        device.enable_ingest(
+            db, region_blocks=8, region_pages_per_block=16, injector=inj
+        )
+        # seeding the base rows must not count as faulted mutation traffic
+        assert inj.counts.page_programs == 0
+        device.insert_db(db, np.ones((3, 6), dtype=np.float32))
+        assert inj.counts.page_programs > 0
+        assert inj.counts.program_retries > 0

@@ -1,0 +1,261 @@
+"""Staleness, delta-aware search, and preemptible background compaction."""
+
+import numpy as np
+import pytest
+
+from repro.ingest import (
+    CompactionJob,
+    CompactionPolicy,
+    DeltaAwareSearch,
+    IngestError,
+    LifecycleConfig,
+    LifecycleDevice,
+    run_lifecycle,
+)
+from repro.sim import Simulator
+from repro.workloads import get_app
+
+APP = get_app("textqa")
+DIM = APP.feature_floats
+
+
+@pytest.fixture
+def rig(rng):
+    """A lifecycle device with one ingest-enabled database + search."""
+    device = LifecycleDevice()
+    db = device.write_db(rng.normal(0, 1, (256, DIM)).astype(np.float32))
+    model = device.load_graph(APP.build_scn(seed=1))
+    device.enable_ingest(db, region_blocks=8, region_pages_per_block=16)
+    search = DeltaAwareSearch(
+        device.lifecycle(db).store, device._models[model], n_clusters=8, seed=0
+    )
+    return device, db, model, search
+
+
+def _plant_winners(device, db, search, probe, n):
+    """Insert near-copies of the current exact winners (they belong in
+    the new exact top-K but the stale layout cannot reach them)."""
+    winners = search.exact_topk(probe, n)
+    rows = device.lifecycle(db).store.rows(winners)
+    return device.insert_db(db, rows + np.float32(1e-3))
+
+
+class TestDeltaAwareSearch:
+    def test_fresh_layout_has_high_recall(self, rig, rng):
+        _, _, _, search = rig
+        probe = rng.normal(0, 1, DIM).astype(np.float32)
+        result = search.query(probe, 10, n_probe=6)
+        exact = search.exact_topk(probe, 10)
+        assert result.recall_against(exact) >= 0.5
+        assert result.probed_rows < result.total_visible
+        assert result.scan_seconds > 0
+
+    def test_recall_drifts_down_as_delta_grows(self, rig, rng):
+        device, db, _, search = rig
+        probe = rng.normal(0, 1, DIM).astype(np.float32)
+        exact0 = search.exact_topk(probe, 10)
+        recall0 = search.query(probe, 10, n_probe=6).recall_against(exact0)
+        _plant_winners(device, db, search, probe, 10)
+        exact1 = search.exact_topk(probe, 10)
+        stale = search.query(probe, 10, n_probe=6).recall_against(exact1)
+        # the planted winners sit in the delta; stale probing misses them
+        assert stale < recall0
+        assert search.query(probe, 10, n_probe=6).delta_rows == 10
+
+    def test_scanning_the_delta_buys_recall_back(self, rig, rng):
+        device, db, _, search = rig
+        probe = rng.normal(0, 1, DIM).astype(np.float32)
+        _plant_winners(device, db, search, probe, 10)
+        exact = search.exact_topk(probe, 10)
+        stale = search.query(probe, 10, n_probe=6, include_delta=False)
+        fresh = search.query(probe, 10, n_probe=6, include_delta=True)
+        assert fresh.recall_against(exact) > stale.recall_against(exact)
+        assert fresh.probed_rows > stale.probed_rows
+        # the latency model quantizes at page granularity, so a small
+        # delta may not move the clock — it must never make it cheaper
+        assert fresh.scan_seconds >= stale.scan_seconds
+
+    def test_tombstones_cost_reads_but_never_rank(self, rig, rng):
+        device, db, _, search = rig
+        probe = rng.normal(0, 1, DIM).astype(np.float32)
+        top = search.exact_topk(probe, 5)
+        device.delete_db_rows(db, [int(top[0])])
+        result = search.query(probe, 10, n_probe=8)
+        assert int(top[0]) not in result.feature_ids.tolist()
+        # the dead row's page is still probed until compaction
+        assert result.probed_rows > result.total_visible - result.delta_rows
+
+    def test_rebuild_restores_recall(self, rig, rng):
+        device, db, _, search = rig
+        probe = rng.normal(0, 1, DIM).astype(np.float32)
+        _plant_winners(device, db, search, probe, 10)
+        search.rebuild(device.lifecycle(db).store.snapshot())
+        exact = search.exact_topk(probe, 10)
+        assert search.query(probe, 10, n_probe=6).recall_against(exact) >= 0.5
+        assert search.rebuilds == 1
+
+    def test_bad_arguments_rejected(self, rig, rng):
+        _, _, _, search = rig
+        probe = rng.normal(0, 1, DIM).astype(np.float32)
+        with pytest.raises(IngestError):
+            search.query(probe, 0, n_probe=2)
+        with pytest.raises(IngestError):
+            search.query(probe, 5, n_probe=0)
+        with pytest.raises(IngestError):
+            search.query(probe, 5, n_probe=999)
+
+
+class TestCompactionPolicy:
+    def test_validation(self):
+        with pytest.raises(IngestError):
+            CompactionPolicy(delta_threshold=0.0)
+        with pytest.raises(IngestError):
+            CompactionPolicy(chunk_rows=0)
+        with pytest.raises(IngestError):
+            CompactionPolicy(min_gap_s=-1.0)
+
+    def test_due_follows_the_delta_threshold(self, rig, rng):
+        device, db, _, search = rig
+        job = CompactionJob(
+            device, db, search=search,
+            policy=CompactionPolicy(delta_threshold=0.1),
+        )
+        assert not job.due()
+        device.insert_db(
+            db, rng.normal(0, 1, (40, DIM)).astype(np.float32)
+        )
+        assert job.due()
+
+
+class TestCompactionJob:
+    def test_chunked_run_absorbs_the_delta(self, rig, rng):
+        device, db, _, search = rig
+        inserted = device.insert_db(
+            db, rng.normal(0, 1, (50, DIM)).astype(np.float32)
+        )
+        device.delete_db_rows(db, [0, 1, 2])
+        sim = Simulator()
+        seen = []
+        job = CompactionJob(
+            device, db, search=search,
+            policy=CompactionPolicy(chunk_rows=16),
+        )
+        job.start(sim, on_done=seen.append)
+        sim.run()
+        report = job.report
+        assert report is not None and seen == [report]
+        assert report.rows_rewritten == len(inserted)
+        assert report.chunks == 4  # ceil(50 / 16)
+        assert report.reclaimed_rows == 3
+        assert report.delta_before > 0 and report.delta_after == 0.0
+        assert report.write_seconds > 0
+        assert report.duration_s >= report.write_seconds * 0.5
+        assert not job.active
+        assert search.rebuilds == 1
+
+    def test_mutations_after_snapshot_land_in_next_delta(self, rig, rng):
+        device, db, _, search = rig
+        device.insert_db(db, rng.normal(0, 1, (20, DIM)).astype(np.float32))
+        sim = Simulator()
+        job = CompactionJob(device, db, search=search)
+        job.start(sim)
+        late = device.insert_db(
+            db, rng.normal(0, 1, (5, DIM)).astype(np.float32)
+        )
+        sim.run()
+        store = device.lifecycle(db).store
+        assert set(store.delta_ids().tolist()) == set(int(i) for i in late)
+
+    def test_queries_preempt_pending_chunks(self, rig, rng):
+        device, db, model, search = rig
+        device.insert_db(db, rng.normal(0, 1, (48, DIM)).astype(np.float32))
+        sim = Simulator()
+        job = CompactionJob(
+            device, db, search=search,
+            policy=CompactionPolicy(chunk_rows=8),
+        )
+        job.start(sim)
+        probe = rng.normal(0, 1, DIM).astype(np.float32)
+
+        def fire():
+            seconds = device.get_results(
+                device.query(probe, 5, model, db)
+            ).seconds
+            assert job.preempt(sim.now + seconds)
+
+        sim.schedule(1e-5, fire, label="fg-query")
+        sim.run()
+        report = job.report
+        assert report is not None
+        assert report.preemptions == 1
+        assert report.rows_rewritten == 48
+
+    def test_preempt_is_a_noop_when_idle(self, rig):
+        device, db, _, search = rig
+        job = CompactionJob(device, db, search=search)
+        assert not job.preempt(1.0)
+
+    def test_double_start_rejected(self, rig, rng):
+        device, db, _, search = rig
+        device.insert_db(db, rng.normal(0, 1, (8, DIM)).astype(np.float32))
+        sim = Simulator()
+        job = CompactionJob(device, db, search=search)
+        job.start(sim)
+        with pytest.raises(IngestError):
+            job.start(sim)
+        sim.run()
+
+
+class TestRunLifecycle:
+    #: one small deterministic loop shared by the smoke assertions
+    CONFIG = LifecycleConfig(
+        n_base=256,
+        rounds=2,
+        planted_per_round=24,
+        random_per_round=16,
+        deletes_per_round=8,
+        updates_per_round=2,
+        probe_queries=3,
+        k=8,
+        n_clusters=8,
+        n_probe=3,
+        interference_loads=(0.0, 0.5),
+        seed=11,
+    )
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_lifecycle(self.CONFIG)
+
+    def test_staleness_degrades_and_delta_recovers(self, report):
+        assert report.staleness[-1].stale_recall < report.staleness[0].stale_recall
+        last = report.staleness[-1]
+        assert last.with_delta_recall > last.stale_recall
+        assert last.delta_fraction > 0
+
+    def test_compaction_restores_recall(self, report):
+        assert report.compaction.rows_rewritten > 0
+        assert report.post_compaction_recall == pytest.approx(
+            report.fresh_baseline_recall, abs=0.01
+        )
+
+    def test_write_amplification_is_consistent(self, report):
+        assert report.write_amplification >= 1.0
+        assert report.host_writes > 0
+        expected = (
+            report.host_writes + report.gc_relocations
+        ) / report.host_writes
+        assert report.write_amplification == pytest.approx(expected)
+
+    def test_interference_slows_queries_monotonically(self, report):
+        slowdowns = [p.slowdown for p in report.interference]
+        assert slowdowns[0] == pytest.approx(1.0)
+        assert slowdowns[-1] > 1.0
+
+    def test_report_serializes(self, report):
+        card = report.as_dict()
+        assert card["staleness"]["final_recall"] <= card["staleness"]["initial_recall"]
+        assert card["mutations"] == report.mutations
+        import json
+
+        json.dumps(card)  # must be JSON-clean for the perf gate

@@ -1,0 +1,141 @@
+"""Unit tests for the epoch-versioned mutable feature store."""
+
+import numpy as np
+import pytest
+
+from repro.ingest.store import (
+    IngestError,
+    MutableFeatureStore,
+    oracle_replay,
+    oracle_topk,
+)
+
+
+@pytest.fixture
+def store(rng):
+    return MutableFeatureStore(
+        rng.normal(0, 1, (32, 8)).astype(np.float32)
+    )
+
+
+class TestMutations:
+    def test_insert_assigns_stable_sequential_ids(self, store):
+        first = store.insert(np.ones((3, 8), dtype=np.float32))
+        second = store.insert(np.ones((2, 8), dtype=np.float32))
+        assert first.tolist() == [32, 33, 34]
+        assert second.tolist() == [35, 36]
+        assert store.n_rows == 37
+
+    def test_each_mutation_advances_the_epoch(self, store):
+        assert store.epoch == 0
+        store.insert(np.ones((1, 8), dtype=np.float32))
+        assert store.epoch == 1
+        store.delete([0])
+        assert store.epoch == 2
+
+    def test_update_is_tombstone_plus_fresh_id(self, store):
+        new_id = store.update(5, np.full(8, 2.0, dtype=np.float32))
+        assert new_id == 32
+        assert not store.is_visible(5)
+        assert store.is_visible(new_id)
+        np.testing.assert_array_equal(
+            store.rows(np.array([new_id]))[0], np.full(8, 2.0, dtype=np.float32)
+        )
+
+    def test_rows_preserved_verbatim(self, store, rng):
+        added = rng.normal(0, 1, (4, 8)).astype(np.float32)
+        ids = store.insert(added)
+        np.testing.assert_array_equal(store.rows(ids), added)
+
+    def test_invalid_mutations_rejected(self, store):
+        with pytest.raises(IngestError):
+            store.insert(np.ones((1, 4), dtype=np.float32))  # wrong dim
+        with pytest.raises(IngestError):
+            store.delete([])
+        with pytest.raises(IngestError):
+            store.delete([99])
+        with pytest.raises(IngestError):
+            store.delete([3, 3])
+        store.delete([3])
+        with pytest.raises(IngestError):
+            store.delete([3])  # double delete
+
+
+class TestSnapshots:
+    def test_snapshot_is_stable_under_later_mutations(self, store):
+        snap = store.snapshot()
+        before = store.visible_ids(snap).tolist()
+        store.insert(np.ones((5, 8), dtype=np.float32))
+        store.delete([0, 1, 2])
+        assert store.visible_ids(snap).tolist() == before
+
+    def test_snapshot_excludes_later_inserts(self, store):
+        snap = store.snapshot()
+        ids = store.insert(np.ones((2, 8), dtype=np.float32))
+        assert not store.is_visible(int(ids[0]), snap)
+        assert store.is_visible(int(ids[0]))
+
+    def test_snapshot_keeps_rows_deleted_after_it(self, store):
+        snap = store.snapshot()
+        store.delete([7])
+        assert store.is_visible(7, snap)
+        assert not store.is_visible(7)
+
+    def test_snapshot_at_reconstructs_history(self, store):
+        store.insert(np.ones((2, 8), dtype=np.float32))  # epoch 1
+        store.delete([0])  # epoch 2
+        past = store.snapshot_at(1)
+        assert past.n_rows == 34
+        assert store.is_visible(0, past)
+        with pytest.raises(IngestError):
+            store.snapshot_at(99)
+
+    def test_update_between_snapshots_shows_neither_version(self, store):
+        store.delete([4])  # epoch 1 (the delete half of an update)
+        mid = store.snapshot()
+        new_id = store.insert(np.ones((1, 8), dtype=np.float32))[0]  # epoch 2
+        assert not store.is_visible(4, mid)
+        assert not store.is_visible(int(new_id), mid)
+
+
+class TestDeltaAndCompaction:
+    def test_base_rows_start_clustered(self, store):
+        assert store.delta_fraction() == 0.0
+
+    def test_inserts_grow_the_delta(self, store):
+        store.insert(np.ones((8, 8), dtype=np.float32))
+        assert store.delta_fraction() == pytest.approx(8 / 40)
+
+    def test_compaction_absorbs_the_delta_and_reclaims(self, store):
+        store.insert(np.ones((8, 8), dtype=np.float32))
+        store.delete([0, 1])
+        assert store.physical_rows == 40
+        snap = store.snapshot()
+        reclaimed = store.mark_compacted(snap)
+        assert reclaimed == 2
+        assert store.physical_rows == 38
+        assert store.delta_fraction() == 0.0
+
+    def test_rows_mutated_after_snapshot_stay_in_next_delta(self, store):
+        snap = store.snapshot()
+        later = store.insert(np.ones((4, 8), dtype=np.float32))
+        store.mark_compacted(snap)
+        delta = set(store.delta_ids().tolist())
+        assert delta == set(int(i) for i in later)
+
+
+class TestOracle:
+    def test_replay_matches_store_at_every_epoch(self, store, rng):
+        store.insert(rng.normal(0, 1, (5, 8)).astype(np.float32))
+        store.delete([1, 33])
+        store.update(2, np.ones(8, dtype=np.float32))
+        base = store.features()[:32]
+        for epoch in range(store.epoch + 1):
+            snap = store.snapshot_at(epoch)
+            _, visible = oracle_replay(base, store.log, epoch)
+            assert visible == store.visible_ids(snap).tolist(), f"epoch {epoch}"
+
+    def test_oracle_topk_uses_canonical_tiebreak(self):
+        scores = np.array([1.0, 2.0, 2.0, 0.5])
+        top = oracle_topk(np.zeros((4, 2)), [0, 1, 2, 3], scores, 2)
+        assert top == [(2.0, 1), (2.0, 2)]
