@@ -1,0 +1,149 @@
+"""Extension: crash recovery & cluster hardening under a chaos day.
+
+The paper's device never fails; a production day does.  This bench
+runs the two scripted chaos tracks (:mod:`repro.chaos`) at the exact
+perf-gate configuration and asserts the claims the recovery subsystem
+stands on:
+
+* **durability** — every mutation whose WAL program completed before a
+  crash survives the replay-based restart, and the recovered store is
+  **bit-equal** to the shadow oracle (ids, row bytes, and top-K
+  scores);
+* **honest WAL pricing** — the log's write amplification is the
+  page-mapped FTL's own bookkeeping over the real ingest write path,
+  not an assumed constant;
+* **availability** — replica kill storms are absorbed by failover,
+  circuit breakers, and the brownout ladder: queries keep being served
+  (possibly as structured partial answers) and every healed outage is
+  priced with a real MTTR including catch-up resync.
+
+The emitted tables mirror the recovery scorecard the CI perf gate
+diffs, and ``recovery_scorecard.json`` is the uploaded CI artifact.
+"""
+
+import json
+
+from repro.analysis import Table
+from repro.chaos import ChaosConfig, run_cluster_chaos, run_durability_chaos
+from repro.recovery.scorecard import SCORECARD_SEED, build_recovery_scorecard
+
+from conftest import RESULTS_DIR, emit
+
+#: the bench runs the exact gate configuration: one deterministic day,
+#: one artifact, no drift between what CI gates and what this asserts
+CONFIG = ChaosConfig(seed=SCORECARD_SEED)
+
+
+def run_day():
+    return (
+        run_durability_chaos(CONFIG),
+        run_cluster_chaos(CONFIG),
+    )
+
+
+def durability_table(report):
+    table = Table(
+        f"Extension: crash durability (seed {CONFIG.seed}, "
+        f"{len(report.crashes)} crashes, "
+        f"{report.mutations_acked} acked mutations)",
+        ["crash at (ms)", "replayed", "MTTR (ms)", "bit-equal"],
+    )
+    for c in report.crashes:
+        table.add_row(
+            f"{c.at_s * 1e3:13.2f}",
+            f"{c.records_replayed:8d}",
+            f"{c.mttr_s * 1e3:9.4f}",
+            f"{'yes' if c.bit_equal else 'NO':>9s}",
+        )
+    return table
+
+
+def wal_table(report):
+    table = Table(
+        "Extension: WAL & checkpoint write path",
+        ["quantity", "value"],
+    )
+    rows = [
+        ("WAL records logged", f"{report.wal_records}"),
+        ("WAL bytes logged", f"{report.wal_bytes_logged}"),
+        ("WAL write amplification",
+         f"{report.wal_write_amplification:.3f}"),
+        ("checkpoints taken", f"{report.checkpoints_taken}"),
+        ("mutations acked / lost unacked",
+         f"{report.mutations_acked} / {report.mutations_lost_unacked}"),
+        ("durability", f"{report.durability:.3f}"),
+        ("delta-skip recall", f"{report.delta_skip_recall:.3f}"),
+    ]
+    for name, value in rows:
+        table.add_row(f"{name:32s}", value)
+    return table
+
+
+def availability_table(report):
+    table = Table(
+        f"Extension: availability under kill storms (seed {CONFIG.seed}, "
+        f"{report.queries} queries)",
+        ["quantity", "value"],
+    )
+    rows = [
+        ("served / shed / failed",
+         f"{report.served} / {report.shed} / {report.failed}"),
+        ("availability", f"{report.availability:.3f}"),
+        ("recall under chaos", f"{report.recall_mean:.3f}"),
+        ("partial answers", f"{report.partial}"),
+        ("outages healed", f"{len(report.outages)}"),
+        ("resync records replayed",
+         f"{sum(o.resync_records for o in report.outages)}"),
+        ("MTTR mean (ms)",
+         f"{sum(o.mttr_s for o in report.outages) * 1e3 / max(1, len(report.outages)):.3f}"),
+        ("failovers", f"{report.failovers}"),
+        ("breaker transitions", f"{report.breaker_transitions}"),
+        ("brownout peak level", f"{report.max_brownout_level}"),
+    ]
+    for name, value in rows:
+        table.add_row(f"{name:28s}", value)
+    return table
+
+
+def test_ext_recovery_chaos_day(benchmark):
+    durability, availability = benchmark.pedantic(
+        run_day, rounds=1, iterations=1
+    )
+    emit(durability_table(durability), "ext_recovery_durability.txt")
+    emit(wal_table(durability), "ext_recovery_wal.txt")
+    emit(availability_table(availability), "ext_recovery_availability.txt")
+
+    # --- durability: every crash recovered bit-equal, nothing acked lost
+    assert durability.crashes and durability.all_bit_equal
+    assert durability.durability == 1.0
+    assert all(c.mttr_s > 0 for c in durability.crashes)
+    assert all(c.records_replayed >= 0 for c in durability.crashes)
+
+    # --- WAL pricing: measured over the real write path, never < 1
+    assert durability.wal_write_amplification >= 1.0
+    assert durability.wal_bytes_logged > 0
+    assert durability.checkpoints_taken >= 1
+
+    # --- availability: the day is survivable, not free
+    assert availability.served + availability.shed \
+        + availability.failed == availability.queries
+    assert availability.failed == 0  # hardened path never drops a query
+    assert 0.0 < availability.availability <= 1.0
+    assert 0.0 < availability.recall_mean <= 1.0
+    assert availability.outages  # kills healed and were priced
+    assert all(o.mttr_s > 0 for o in availability.outages)
+    assert availability.breaker_transitions > 0  # breakers actually fired
+
+
+def test_ext_recovery_scorecard_artifact():
+    """The gate leg is bit-stable and lands in results/ for CI upload."""
+    card = build_recovery_scorecard()
+    again = build_recovery_scorecard()
+    assert card == again
+    text = json.dumps(card, indent=2, sort_keys=True) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "recovery_scorecard.json").write_text(text)
+    assert card["durability"]["bit_equal"] == 1
+    assert card["durability"]["durability"] == 1.0
+    assert card["durability"]["wal_write_amplification"] >= 1.0
+    assert 0.0 < card["availability"]["availability"] <= 1.0

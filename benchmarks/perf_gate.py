@@ -3,9 +3,10 @@
 Builds the combined perf scorecard — the reproduction scorecard
 (Table-4 speedups + structural claims), the serving scorecard
 (throughput-latency curve, cache point, degraded point), the cluster
-scorecard (shard scaling, failover tax, hedging), and the ingest
+scorecard (shard scaling, failover tax, hedging), the ingest
 scorecard (staleness drift, compaction recovery, write-amplification
-interference) — and compares
+interference), and the recovery scorecard (crash durability, MTTR,
+availability and recall under a scripted chaos day) — and compares
 it leaf by leaf against the checked-in baseline
 ``benchmarks/results/baseline_scorecard.json`` within a relative
 tolerance (default +/-10%).
@@ -38,10 +39,11 @@ BASELINE_PATH = RESULTS_DIR / "baseline_scorecard.json"
 
 
 def build_combined_scorecard() -> Dict[str, object]:
-    """All four scorecards under stable top-level keys."""
+    """All five scorecards under stable top-level keys."""
     from repro.analysis.scorecard import build_scorecard
     from repro.cluster import build_cluster_scorecard
     from repro.ingest import build_ingest_scorecard
+    from repro.recovery.scorecard import build_recovery_scorecard
     from repro.serving.scorecard import build_serving_scorecard
 
     return {
@@ -49,6 +51,7 @@ def build_combined_scorecard() -> Dict[str, object]:
         "serving": build_serving_scorecard(),
         "cluster": build_cluster_scorecard(),
         "ingest": build_ingest_scorecard(),
+        "recovery": build_recovery_scorecard(),
     }
 
 

@@ -1,0 +1,37 @@
+"""Chaos engineering on the simulated clock.
+
+Scripted fault schedules (:mod:`repro.chaos.schedule`) and the harness
+that plays them against the durable store and the hardened cluster
+(:mod:`repro.chaos.harness`), producing the MTTR / durability / recall
+scorecard the perf gate tracks as its fifth leg.
+"""
+
+from repro.chaos.harness import (
+    ChaosConfig,
+    ClusterChaosReport,
+    CrashOutcome,
+    DurabilityReport,
+    OutageOutcome,
+    run_cluster_chaos,
+    run_durability_chaos,
+)
+from repro.chaos.schedule import (
+    CHAOS_KINDS,
+    ChaosError,
+    ChaosEvent,
+    ChaosSchedule,
+)
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosConfig",
+    "ChaosError",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ClusterChaosReport",
+    "CrashOutcome",
+    "DurabilityReport",
+    "OutageOutcome",
+    "run_cluster_chaos",
+    "run_durability_chaos",
+]

@@ -14,6 +14,8 @@ Small, self-contained runners over the library for the common questions:
 ``profile``    busiest-resource occupancy and idle-gap analysis
 ``serve``      open-loop serving: offered-load sweep or perf scorecard
 ``cluster``    sharded multi-SSD scatter-gather queries / perf scorecard
+``ingest``     online ingest & data-lifecycle loop / perf scorecard
+``chaos``      scripted fault day: crash recovery + cluster hardening
 ``demo``       a real end-to-end query with planted neighbors
 =============  ==========================================================
 """
@@ -580,6 +582,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             set(result.feature_ids.tolist()) & set(planted.tolist())
         )
         flags = []
+        if result.partial:
+            flags.append(
+                f"PARTIAL ({result.unavailable_shards} shard(s) unavailable)"
+            )
         if result.failovers:
             flags.append(f"{result.failovers} failover(s)")
         if result.hedges_launched:
@@ -683,6 +689,102 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         print(f"  raw {point.raw_load:4.2f} -> "
               f"offered {point.offered_load:4.2f}: "
               f"{point.slowdown:6.3f}x")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """A scripted production day of correlated failures.
+
+    Runs the durability track (crashes against the WAL + checkpoint
+    recovery path, :func:`repro.chaos.run_durability_chaos`) and the
+    availability track (replica kill storms, retry ladders, breakers,
+    brownout, :func:`repro.chaos.run_cluster_chaos`) and reports the
+    MTTR / durability / recall-under-chaos scorecard.  ``--scorecard``
+    emits the recovery leg of the CI perf gate.
+    """
+    import json
+
+    from repro.chaos import (
+        ChaosConfig,
+        ChaosError,
+        run_cluster_chaos,
+        run_durability_chaos,
+    )
+
+    if args.scorecard:
+        from repro.recovery.scorecard import build_recovery_scorecard
+
+        # always machine-readable: this is the artifact CI gates on
+        print(json.dumps(
+            build_recovery_scorecard(), indent=2, sort_keys=True
+        ))
+        return 0
+
+    try:
+        config = ChaosConfig(
+            seed=args.seed,
+            duration_s=args.duration,
+            crashes=args.crashes,
+            kills=args.kills,
+            queries=args.queries,
+        )
+        durability = (
+            run_durability_chaos(config)
+            if args.track in ("durability", "both") else None
+        )
+        availability = (
+            run_cluster_chaos(config)
+            if args.track in ("cluster", "both") else None
+        )
+    except ChaosError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        payload = {"seed": config.seed, "duration_s": config.duration_s}
+        if durability is not None:
+            payload["durability"] = durability.to_dict()
+        if availability is not None:
+            payload["availability"] = availability.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"chaos day: seed {config.seed}, "
+          f"{config.duration_s * 1e3:.0f} ms simulated")
+    if durability is not None:
+        d = durability
+        print()
+        print(f"durability ({config.crashes} crash(es), "
+              f"{d.mutations_acked} acked mutations):")
+        for c in d.crashes:
+            print(f"  crash @ {c.at_s * 1e3:7.2f} ms: "
+                  f"replayed {c.records_replayed} record(s), "
+                  f"MTTR {c.mttr_s * 1e3:.3f} ms, "
+                  f"{'bit-equal' if c.bit_equal else 'DIVERGED'}")
+        print(f"  checkpoints {d.checkpoints_taken}, "
+              f"WAL {d.wal_records} record(s) / {d.wal_bytes_logged} B, "
+              f"write amplification {d.wal_write_amplification:.3f}")
+        print(f"  durability {d.durability:.3f}, "
+              f"lost unacked {d.mutations_lost_unacked}, "
+              f"delta-skip recall {d.delta_skip_recall:.3f}")
+    if availability is not None:
+        a = availability
+        print()
+        print(f"availability ({config.kills} kill(s), "
+              f"{a.queries} queries):")
+        print(f"  served {a.served}, shed {a.shed}, failed {a.failed} "
+              f"-> availability {a.availability:.3f}, "
+              f"recall {a.recall_mean:.3f}")
+        for o in a.outages:
+            print(f"  outage shard {o.shard} replica {o.replica} "
+                  f"@ {o.killed_at_s * 1e3:7.2f} ms: "
+                  f"resync {o.resync_records} record(s)"
+                  f"{' (full snapshot)' if o.full_snapshot else ''}, "
+                  f"MTTR {o.mttr_s * 1e3:.3f} ms")
+        print(f"  partial answers {a.partial}, failovers {a.failovers}, "
+              f"breaker transitions {a.breaker_transitions}, "
+              f"brownout peak L{a.max_brownout_level} "
+              f"({len(a.brownout_transitions)} transition(s))")
     return 0
 
 
@@ -891,6 +993,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the canonical CI perf scorecard (JSON)")
     ingest.add_argument("--json", action="store_true")
 
+    chaos = sub.add_parser(
+        "chaos", help="scripted fault day: crashes, kills, recovery"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--duration", type=float, default=1.0,
+                       help="simulated day length in seconds")
+    chaos.add_argument("--crashes", type=int, default=3,
+                       help="whole-store crashes on the durability track")
+    chaos.add_argument("--kills", type=int, default=4,
+                       help="replica kills on the availability track")
+    chaos.add_argument("--queries", type=int, default=24,
+                       help="probe queries on the availability track")
+    chaos.add_argument("--track", default="both",
+                       choices=["durability", "cluster", "both"])
+    chaos.add_argument("--scorecard", action="store_true",
+                       help="emit the recovery leg of the CI perf gate")
+    chaos.add_argument("--json", action="store_true")
+
     demo = sub.add_parser("demo", help="end-to-end functional query")
     demo.add_argument("--app", default="tir",
                       choices=["reid", "mir", "estp", "tir", "textqa"])
@@ -916,6 +1036,7 @@ COMMANDS = {
     "serve": _cmd_serve,
     "cluster": _cmd_cluster,
     "ingest": _cmd_ingest,
+    "chaos": _cmd_chaos,
     "demo": _cmd_demo,
 }
 

@@ -18,6 +18,12 @@ Entry points:
 * :func:`build_cluster_scorecard` — the CI perf gate's cluster leg.
 """
 
+from repro.cluster.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.cluster.brownout import (
+    BROWNOUT_STEPS,
+    BrownoutConfig,
+    BrownoutController,
+)
 from repro.cluster.config import (
     PLACEMENT_STRATEGIES,
     ClusterConfig,
@@ -43,6 +49,7 @@ from repro.cluster.placement import (
     make_placement,
     range_placement,
 )
+from repro.cluster.retry import RetryLadder, RetryPolicy
 from repro.cluster.scatter import (
     ReplicaAttempt,
     ScatterResult,
@@ -57,6 +64,12 @@ from repro.cluster.scorecard import (
 from repro.cluster.serving import ClusterBatchCostModel
 
 __all__ = [
+    "BROWNOUT_STEPS",
+    "BreakerConfig",
+    "BreakerState",
+    "BrownoutConfig",
+    "BrownoutController",
+    "CircuitBreaker",
     "PLACEMENT_STRATEGIES",
     "ClusterBatchCostModel",
     "ClusterConfig",
@@ -69,6 +82,8 @@ __all__ = [
     "RebalanceMove",
     "RebalancePlan",
     "ReplicaAttempt",
+    "RetryLadder",
+    "RetryPolicy",
     "ShardIngestTracker",
     "ScatterResult",
     "ShardJob",

@@ -1,0 +1,154 @@
+"""Per-replica circuit breakers.
+
+A dead replica costs the coordinator one full detection ladder *every
+query* — the scatter path cannot tell "dead" from "slow" until the
+timeouts run out.  A breaker remembers: after enough failures in the
+recent window it **opens** and the replica is skipped at zero detection
+cost; after ``open_seconds`` it goes **half-open** and admits exactly
+``half_open_probes`` probe requests; all probes succeeding closes it,
+any probe failing re-opens it.
+
+The state machine is deliberately classic (closed → open → half-open)
+and its invariants are enforced by the hypothesis suite: an open
+breaker never admits before its cool-down, and a half-open breaker
+admits exactly its probe budget — no more, regardless of traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from collections import deque
+
+from repro.cluster.config import ClusterError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Windowed failure-rate breaker parameters."""
+
+    #: outcomes remembered for the failure-rate window
+    window: int = 16
+    #: open when the windowed failure rate reaches this
+    failure_threshold: float = 0.5
+    #: ... but only once the window holds at least this many outcomes
+    min_samples: int = 4
+    #: cool-down before an open breaker goes half-open
+    open_seconds: float = 0.05
+    #: probe requests a half-open breaker admits
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ClusterError("window must be at least 1")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ClusterError("failure_threshold must be in (0, 1]")
+        if self.min_samples < 1:
+            raise ClusterError("min_samples must be at least 1")
+        if self.min_samples > self.window:
+            # the window can never hold that many outcomes: the breaker
+            # would be permanently unable to open
+            raise ClusterError("min_samples cannot exceed window")
+        if self.open_seconds < 0:
+            raise ClusterError("open_seconds cannot be negative")
+        if self.half_open_probes < 1:
+            raise ClusterError("half_open_probes must be at least 1")
+
+
+class CircuitBreaker:
+    """One replica's breaker, clocked by the simulated time it is fed."""
+
+    def __init__(self, config: Optional[BreakerConfig] = None):
+        self.config = config or BreakerConfig()
+        self._outcomes: Deque[bool] = deque(maxlen=self.config.window)
+        self._state = BreakerState.CLOSED
+        self._opened_at: Optional[float] = None
+        self._probes_admitted = 0
+        self._probe_successes = 0
+        #: (now_s, from, to) — every transition, in order
+        self.transitions: List[Tuple[float, BreakerState, BreakerState]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def failure_rate(self) -> float:
+        """Failure fraction over the remembered window (0 when empty)."""
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def state(self, now_s: float) -> BreakerState:
+        """Current state, resolving an elapsed open cool-down."""
+        self._maybe_half_open(now_s)
+        return self._state
+
+    # ------------------------------------------------------------------
+    def allow(self, now_s: float) -> bool:
+        """May a request go to this replica right now?
+
+        Open: never (that is the whole point).  Half-open: yes, for
+        exactly the probe budget.  Closed: always.
+        """
+        self._maybe_half_open(now_s)
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            return False
+        if self._probes_admitted >= self.config.half_open_probes:
+            return False
+        self._probes_admitted += 1
+        return True
+
+    def record_success(self, now_s: float) -> None:
+        """Feed one success into the window (may close a half-open)."""
+        self._maybe_half_open(now_s)
+        self._outcomes.append(True)
+        if self._state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.half_open_probes:
+                self._transition(now_s, BreakerState.CLOSED)
+                self._outcomes.clear()
+
+    def record_failure(self, now_s: float) -> None:
+        """Feed one failure (may open, or re-open a half-open)."""
+        self._maybe_half_open(now_s)
+        self._outcomes.append(False)
+        if self._state is BreakerState.HALF_OPEN:
+            # a failed probe re-opens immediately (fresh cool-down)
+            self._transition(now_s, BreakerState.OPEN)
+            return
+        if (
+            self._state is BreakerState.CLOSED
+            and len(self._outcomes) >= self.config.min_samples
+            and self.failure_rate >= self.config.failure_threshold
+        ):
+            self._transition(now_s, BreakerState.OPEN)
+
+    # ------------------------------------------------------------------
+    def _maybe_half_open(self, now_s: float) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._opened_at is not None
+            and now_s - self._opened_at >= self.config.open_seconds
+        ):
+            self._transition(now_s, BreakerState.HALF_OPEN)
+
+    def _transition(self, now_s: float, to: BreakerState) -> None:
+        if to is self._state:  # pragma: no cover - callers guard this
+            return
+        self.transitions.append((now_s, self._state, to))
+        self._state = to
+        if to is BreakerState.OPEN:
+            self._opened_at = now_s
+        elif to is BreakerState.HALF_OPEN:
+            self._probes_admitted = 0
+            self._probe_successes = 0
+        elif to is BreakerState.CLOSED:
+            self._opened_at = None

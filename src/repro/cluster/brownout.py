@@ -1,0 +1,122 @@
+"""Brownout: degrade in observable steps instead of falling over.
+
+Under sustained pressure (replica outages, retry storms, GC
+interference) the right move is rarely "keep serving at full fidelity
+until the latency SLO dies".  :class:`BrownoutController` walks a
+fixed, observable ladder one step at a time:
+
+====  =================  =============================================
+step  name               what the serving path gives up
+====  =================  =============================================
+0     ``normal``         nothing
+1     ``no_hedge``       hedged requests (halves replica fan-out)
+2     ``skip_delta``     the unclustered delta region (bounded recall
+                         loss, measured by the chaos harness)
+3     ``shed_low``       low-priority query classes (load shedding)
+====  =================  =============================================
+
+Escalation and recovery are hysteretic: pressure (any [0, 1] signal —
+the chaos harness feeds windowed shard-unavailability) must sit above
+``step_up_pressure`` to climb and below ``step_down_pressure`` to
+descend, and each change must wait out ``dwell_s`` so the controller
+cannot flap.  Every transition is recorded for the scorecard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+from collections import deque
+
+from repro.cluster.config import ClusterError
+
+#: step names, index == brownout level
+BROWNOUT_STEPS = ("normal", "no_hedge", "skip_delta", "shed_low")
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Hysteresis shape of the brownout ladder."""
+
+    #: climb one step when windowed pressure reaches this
+    step_up_pressure: float = 0.5
+    #: descend one step when windowed pressure falls to this or below
+    step_down_pressure: float = 0.2
+    #: pressure samples in the smoothing window
+    window: int = 8
+    #: minimum seconds between level changes (anti-flap dwell)
+    dwell_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.step_up_pressure <= 1.0:
+            raise ClusterError("step_up_pressure must be in (0, 1]")
+        if not 0.0 <= self.step_down_pressure < self.step_up_pressure:
+            raise ClusterError(
+                "step_down_pressure must be in [0, step_up_pressure)"
+            )
+        if self.window < 1:
+            raise ClusterError("window must be at least 1")
+        if self.dwell_s < 0:
+            raise ClusterError("dwell_s cannot be negative")
+
+
+class BrownoutController:
+    """The stepped degradation state machine."""
+
+    def __init__(self, config: BrownoutConfig | None = None):
+        self.config = config or BrownoutConfig()
+        self.level = 0
+        self._window: Deque[float] = deque(maxlen=self.config.window)
+        self._last_change_s: float | None = None
+        #: (now_s, from_level, to_level) — every step, in order
+        self.transitions: List[Tuple[float, int, int]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def step(self) -> str:
+        return BROWNOUT_STEPS[self.level]
+
+    @property
+    def hedging_disabled(self) -> bool:
+        return self.level >= 1
+
+    @property
+    def skip_delta(self) -> bool:
+        return self.level >= 2
+
+    @property
+    def shed_low_priority(self) -> bool:
+        return self.level >= 3
+
+    @property
+    def pressure(self) -> float:
+        """Windowed mean of the observed pressure signal."""
+        if not self._window:
+            return 0.0
+        return sum(self._window) / len(self._window)
+
+    # ------------------------------------------------------------------
+    def observe(self, now_s: float, pressure: float) -> int:
+        """Feed one pressure sample; returns the (possibly new) level."""
+        if not 0.0 <= pressure <= 1.0:
+            raise ClusterError("pressure must be in [0, 1]")
+        self._window.append(pressure)
+        smoothed = self.pressure
+        if self._last_change_s is not None and (
+            now_s - self._last_change_s < self.config.dwell_s
+        ):
+            return self.level
+        if (
+            smoothed >= self.config.step_up_pressure
+            and self.level < len(BROWNOUT_STEPS) - 1
+        ):
+            self._step_to(now_s, self.level + 1)
+        elif smoothed <= self.config.step_down_pressure and self.level > 0:
+            self._step_to(now_s, self.level - 1)
+        return self.level
+
+    def _step_to(self, now_s: float, level: int) -> None:
+        self.transitions.append((now_s, self.level, level))
+        self.level = level
+        self._last_change_s = now_s

@@ -19,10 +19,15 @@ holds the layer to this bit-exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple, Union
+from typing import TYPE_CHECKING, Optional, Tuple, Union
 
 from repro.core.engine import DispatchPolicy
 from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # imported lazily to avoid a module cycle
+    from repro.cluster.breaker import BreakerConfig
+    from repro.cluster.brownout import BrownoutConfig
+    from repro.cluster.retry import RetryPolicy
 
 #: placement strategies :func:`repro.cluster.placement.make_placement` knows
 PLACEMENT_STRATEGIES = ("range", "hash", "locality")
@@ -113,6 +118,14 @@ class ClusterConfig:
     #: device-level fault plan; ``kind="shard"`` failures add to
     #: ``fail_shards``, the rest apply inside every shard SSD
     fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    #: failover retry ladder (capped backoff + seeded jitter + per-query
+    #: budget); ``None`` keeps the legacy unlimited zero-pause walk
+    #: bit-identical
+    retry_policy: Optional["RetryPolicy"] = None
+    #: per-replica circuit breakers; ``None`` disables them (legacy)
+    breaker: Optional["BreakerConfig"] = None
+    #: stepped brownout degradation; ``None`` disables it (legacy)
+    brownout: Optional["BrownoutConfig"] = None
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:

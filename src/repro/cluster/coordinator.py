@@ -32,8 +32,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.breaker import BreakerState, CircuitBreaker
+from repro.cluster.brownout import BrownoutController
 from repro.cluster.config import ClusterConfig, ClusterError
 from repro.cluster.placement import ShardPlacement, make_placement
+from repro.cluster.retry import RetryLadder
 from repro.cluster.scatter import ReplicaAttempt, ShardJob, run_scatter
 from repro.core.api import DeepStoreDevice, QueryResult
 from repro.core.topk import KWayMergeStats, kway_merge_topk, topk_select
@@ -48,7 +51,7 @@ class ShardReport:
     """One shard's share of a cluster query."""
 
     shard: int
-    #: replica whose result was merged
+    #: replica whose result was merged (``-1`` when unavailable)
     replica: int
     #: completion time of this shard's leg (detection + compute + DMA)
     seconds: float
@@ -58,6 +61,11 @@ class ShardReport:
     hedge_won: bool
     cache_hit: bool
     k_returned: int
+    #: retry-ladder pause seconds charged to this leg
+    retry_pause_seconds: float = 0.0
+    #: no live replica answered within the retry budget — the global
+    #: top-K is partial and this shard contributed nothing
+    unavailable: bool = False
 
 
 @dataclass
@@ -97,6 +105,17 @@ class ClusterQueryResult:
     def failovers(self) -> int:
         return sum(s.failovers for s in self.shards)
 
+    @property
+    def unavailable_shards(self) -> int:
+        """Shards that answered with *unavailable* instead of a list."""
+        return sum(1 for s in self.shards if s.unavailable)
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one shard could not be served — the
+        top-K covers only the shards that answered."""
+        return self.unavailable_shards > 0
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly view (stable key order via sort_keys dumps)."""
         return {
@@ -112,6 +131,8 @@ class ClusterQueryResult:
             "hedges_launched": self.hedges_launched,
             "hedge_wins": self.hedge_wins,
             "cache_hit": self.cache_hit,
+            "partial": self.partial,
+            "unavailable_shards": self.unavailable_shards,
             "shards": [
                 {
                     "shard": s.shard,
@@ -121,6 +142,7 @@ class ClusterQueryResult:
                     "hedged": s.hedged,
                     "hedge_won": s.hedge_won,
                     "cache_hit": s.cache_hit,
+                    "unavailable": s.unavailable,
                 }
                 for s in self.shards
             ],
@@ -159,11 +181,45 @@ class DeepStoreCluster:
         self._next_db_id = 1
         self._next_model_id = 1
         self._query_seq = 0
+        #: runtime outages (chaos kills/restarts), on top of the
+        #: config's static ``fail_shards``
+        self._down: set = set()
+        #: per-replica circuit breakers (only when configured)
+        self.breakers: Dict[Tuple[int, int], CircuitBreaker] = {}
+        if cfg.breaker is not None:
+            self.breakers = {
+                key: CircuitBreaker(cfg.breaker) for key in self.devices
+            }
+        #: stepped brownout controller (only when configured)
+        self.brownout: Optional[BrownoutController] = (
+            BrownoutController(cfg.brownout)
+            if cfg.brownout is not None
+            else None
+        )
         self._coord_track = (
             self.tracer.track("cluster", "coordinator")
             if self.tracer is not None
             else None
         )
+
+    # ------------------------------------------------------------------
+    # runtime outages (the chaos harness's kill/restart surface)
+    # ------------------------------------------------------------------
+    def set_replica_down(self, shard: int, replica: int) -> None:
+        """Take one replica out of service at runtime."""
+        if (shard, replica) not in self.devices:
+            raise ClusterError(f"unknown replica ({shard}, {replica})")
+        self._down.add((shard, replica))
+
+    def set_replica_up(self, shard: int, replica: int) -> None:
+        """Return one replica to service (restart complete)."""
+        self._down.discard((shard, replica))
+
+    def down_replicas(self) -> Tuple[Tuple[int, int], ...]:
+        """All currently-dead (shard, replica) pairs: config + runtime."""
+        dead = set(self.config.dead_replicas())
+        dead.update(self._down)
+        return tuple(sorted(dead))
 
     # ------------------------------------------------------------------
     # ingest / models / cache
@@ -232,9 +288,26 @@ class DeepStoreCluster:
     # query
     # ------------------------------------------------------------------
     def query(
-        self, qfv: np.ndarray, k: int, model_id: int, db_id: int
+        self,
+        qfv: np.ndarray,
+        k: int,
+        model_id: int,
+        db_id: int,
+        now_s: float = 0.0,
     ) -> ClusterQueryResult:
-        """Scatter one query, gather the exact global top-K."""
+        """Scatter one query, gather the exact global top-K.
+
+        ``now_s`` is the wall-clock of the surrounding simulation; it
+        clocks the circuit breakers and the brownout controller.  With
+        neither configured it is inert and the legacy path is
+        bit-identical.
+
+        A shard whose replicas are all dead (or retry-budget-exhausted)
+        resolves as a structured *unavailable* leg: the returned top-K
+        is flagged ``partial`` and covers the shards that answered.
+        Only when *no* shard answers does the query raise
+        :class:`ClusterError`.
+        """
         if k <= 0:
             raise ClusterError("K must be positive")
         placement = self.placement_of(db_id)
@@ -249,13 +322,32 @@ class DeepStoreCluster:
         jobs: List[ShardJob] = []
         for shard in shards:
             jobs.append(
-                self._shard_job(shard, seq, qfv, k, models, dbs)
+                self._shard_job(shard, seq, qfv, k, models, dbs, now_s)
             )
         scatter = run_scatter(jobs, tracer=self.tracer, metrics=self.metrics)
+        job_by_shard = {job.shard: job for job in jobs}
 
         partials: List[List[Tuple[float, int]]] = []
         reports: List[ShardReport] = []
         for outcome in scatter.outcomes:
+            self._record_breakers(job_by_shard[outcome.shard], outcome, now_s)
+            if outcome.unavailable:
+                reports.append(
+                    ShardReport(
+                        shard=outcome.shard,
+                        replica=-1,
+                        seconds=outcome.done_s,
+                        detect_seconds=outcome.detect_s,
+                        failovers=outcome.failovers,
+                        hedged=False,
+                        hedge_won=False,
+                        cache_hit=False,
+                        k_returned=0,
+                        retry_pause_seconds=outcome.retry_pause_s,
+                        unavailable=True,
+                    )
+                )
+                continue
             result: QueryResult = outcome.payload
             owners = placement.owners[outcome.shard]
             pairs = [
@@ -274,6 +366,7 @@ class DeepStoreCluster:
                     hedge_won=outcome.hedge_won,
                     cache_hit=result.cache_hit,
                     k_returned=len(pairs),
+                    retry_pause_seconds=outcome.retry_pause_s,
                 )
             )
         if len(partials) > 1:
@@ -313,6 +406,14 @@ class DeepStoreCluster:
                 self.metrics.histogram("cluster.shard_busy_s").observe(
                     report.seconds
                 )
+        if self.brownout is not None:
+            # pressure = fraction of shard legs that struggled (failed
+            # over or went unavailable) — fed back so the controller
+            # can degrade the *next* query's fidelity
+            stressed = sum(
+                1 for r in reports if r.unavailable or r.failovers > 0
+            )
+            self.brownout.observe(now_s, stressed / len(reports))
         return ClusterQueryResult(
             feature_ids=np.asarray([fid for _s, fid in merged], dtype=np.int64),
             scores=np.asarray([s for s, _fid in merged], dtype=np.float32),
@@ -326,6 +427,17 @@ class DeepStoreCluster:
         )
 
     # ------------------------------------------------------------------
+    def _record_breakers(self, job: ShardJob, outcome, now_s: float) -> None:
+        """Feed one scatter leg's attempt outcomes into the breakers."""
+        if not self.breakers:
+            return
+        # the first ``failovers`` attempts are exactly the dead replicas
+        # the coordinator paid a detection ladder for, in walk order
+        for attempt in job.attempts[: outcome.failovers]:
+            self.breakers[(job.shard, attempt.replica)].record_failure(now_s)
+        if not outcome.unavailable:
+            self.breakers[(job.shard, outcome.replica)].record_success(now_s)
+
     def _shard_job(
         self,
         shard: int,
@@ -334,6 +446,7 @@ class DeepStoreCluster:
         k: int,
         models: Dict[Tuple[int, int], int],
         dbs: Dict[Tuple[int, int], int],
+        now_s: float = 0.0,
     ) -> ShardJob:
         cfg = self.config
         #: read-spread: rotate the primary replica per query *and* per
@@ -343,6 +456,29 @@ class DeepStoreCluster:
             (primary + j) % cfg.n_replicas for j in range(cfg.n_replicas)
         ]
         dead = set(cfg.dead_replicas())
+        dead.update(self._down)
+        if self.breakers:
+            # an open breaker is skipped at zero detection cost — that
+            # is the entire point of remembering failures.  A half-open
+            # one spends its probe budget here (at dispatch time), but
+            # only while no live replica precedes it in the walk: a
+            # probe the failover walk would never reach must not burn
+            # budget it cannot resolve.
+            admitted = []
+            seen_live = False
+            for r in order:
+                breaker = self.breakers[(shard, r)]
+                if (
+                    seen_live
+                    and breaker.state(now_s) is not BreakerState.CLOSED
+                ):
+                    continue
+                if not breaker.allow(now_s):
+                    continue
+                admitted.append(r)
+                if (shard, r) not in dead:
+                    seen_live = True
+            order = admitted
 
         def runner(replica: int):
             def run() -> Tuple[float, QueryResult]:
@@ -371,9 +507,31 @@ class DeepStoreCluster:
             attempts.append(
                 ReplicaAttempt(replica=replica, alive=alive, run=runner(replica))
             )
+        backoff_delays: Optional[Tuple[float, ...]] = None
+        if cfg.retry_policy is not None:
+            backoff_delays = tuple(
+                RetryLadder(
+                    cfg.retry_policy, cfg.seed, seq, shard
+                ).all_delays()
+            )
+        hedging_on = (
+            cfg.hedge_fraction is not None
+            and cfg.n_replicas > 1
+            and not (
+                self.brownout is not None and self.brownout.hedging_disabled
+            )
+        )
         if first_live is None:
-            raise ClusterError(f"shard {shard} has no live replica to serve")
-        if cfg.hedge_fraction is not None and cfg.n_replicas > 1:
+            # no live (or breaker-admitted) replica: the scatter leg
+            # resolves as a structured unavailable outcome
+            return ShardJob(
+                shard=shard,
+                attempts=tuple(attempts),
+                detect_seconds=cfg.dispatch_policy.give_up_seconds(),
+                hedge_delay=None,
+                backoff_delays=backoff_delays,
+            )
+        if hedging_on:
             # the hedge deadline keys off the shard's *healthy* latency,
             # so a replica straggling beyond hedge_fraction x healthy
             # gets hedged and a healthy one never does.  The primary's
@@ -399,4 +557,5 @@ class DeepStoreCluster:
             attempts=tuple(attempts),
             detect_seconds=cfg.dispatch_policy.give_up_seconds(),
             hedge_delay=hedge_delay,
+            backoff_delays=backoff_delays,
         )

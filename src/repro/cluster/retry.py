@@ -1,0 +1,108 @@
+"""The coordinator's retry ladder: capped backoff, seeded jitter, budgets.
+
+The ad-hoc failover walk ("pay one detection ladder per corpse, keep
+going forever") becomes a proper retry discipline:
+
+* **capped exponential backoff** — the pause before rung ``n`` is
+  ``base_delay_s * multiplier**n``, clamped to ``max_delay_s``; the
+  pre-jitter sequence is non-decreasing by construction (the property
+  suite proves it);
+* **deterministic jitter** — each pause is scaled into
+  ``[(1 - jitter) * raw, raw]`` by
+  :func:`repro.faults.retry_jitter_unit`, a dedicated hash domain, so
+  retry timing is bit-stable run to run and cannot reshuffle any other
+  fault draw;
+* **a per-query budget** — pauses are charged to the query's latency;
+  once ``budget_s`` (or ``max_attempts``) is spent the ladder gives up
+  and the shard resolves *unavailable* instead of stalling the gather
+  barrier forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.config import ClusterError
+from repro.faults.injector import retry_jitter_unit
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of the per-query retry ladder."""
+
+    #: pause before the first retry
+    base_delay_s: float = 1e-4
+    #: exponential growth per rung
+    multiplier: float = 2.0
+    #: pause cap (the "capped" in capped exponential backoff)
+    max_delay_s: float = 2e-3
+    #: rungs per query (retries after the initial attempt)
+    max_attempts: int = 4
+    #: total pause seconds one query may charge to its latency
+    budget_s: float = 5e-3
+    #: jitter depth: each pause lands in ``[(1-jitter)*raw, raw]``
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s < 0:
+            raise ClusterError("base_delay_s cannot be negative")
+        if self.multiplier < 1.0:
+            raise ClusterError("multiplier must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise ClusterError("max_delay_s must be >= base_delay_s")
+        if self.max_attempts < 1:
+            raise ClusterError("max_attempts must be at least 1")
+        if self.budget_s < 0:
+            raise ClusterError("budget_s cannot be negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ClusterError("jitter must be in [0, 1]")
+
+    def raw_delay(self, attempt: int) -> float:
+        """Pre-jitter pause before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ClusterError("attempt cannot be negative")
+        return min(self.max_delay_s, self.base_delay_s * self.multiplier**attempt)
+
+
+class RetryLadder:
+    """One query's walk up the ladder (stateful, per shard leg).
+
+    ``key`` scopes the jitter draws — typically ``(seq, shard)`` — so
+    every query/shard pair jitters independently but reproducibly.
+    """
+
+    def __init__(self, policy: RetryPolicy, seed: int, *key: int):
+        self.policy = policy
+        self.seed = seed
+        self.key = key
+        self.attempts = 0
+        #: pause seconds already charged to the query's latency
+        self.charged_s = 0.0
+        #: why the ladder stopped (``None`` while it can still climb)
+        self.exhausted: Optional[str] = None
+
+    def next_delay(self) -> Optional[float]:
+        """The next pause, charged to the budget; ``None`` = give up."""
+        policy = self.policy
+        if self.attempts >= policy.max_attempts:
+            self.exhausted = "attempts"
+            return None
+        raw = policy.raw_delay(self.attempts)
+        u = retry_jitter_unit(self.seed, *self.key, self.attempts)
+        delay = raw * (1.0 - policy.jitter * u)
+        if self.charged_s + delay > policy.budget_s:
+            self.exhausted = "budget"
+            return None
+        self.attempts += 1
+        self.charged_s += delay
+        return delay
+
+    def all_delays(self) -> List[float]:
+        """Every pause this ladder will grant, in order (drains it)."""
+        delays: List[float] = []
+        while True:
+            delay = self.next_delay()
+            if delay is None:
+                return delays
+            delays.append(delay)

@@ -58,6 +58,11 @@ class ShardJob:
     #: arm the backup this many seconds after the primary launches
     #: (``None`` disables hedging for this shard)
     hedge_delay: Optional[float] = None
+    #: retry-ladder pauses: ``backoff_delays[i]`` is charged after the
+    #: ``i``-th dead replica before trying the next rung; running out of
+    #: rungs resolves the shard *unavailable*.  ``None`` keeps the
+    #: legacy unlimited zero-pause failover walk bit-identical.
+    backoff_delays: Optional[Tuple[float, ...]] = None
 
 
 @dataclass
@@ -65,7 +70,7 @@ class ShardOutcome:
     """What one shard's scatter leg actually did."""
 
     shard: int
-    #: replica whose result was used
+    #: replica whose result was used (``-1`` when unavailable)
     replica: int
     #: simulated time the winning replica launched
     start_s: float
@@ -73,12 +78,17 @@ class ShardOutcome:
     done_s: float
     #: time burned detecting dead replicas before launching
     detect_s: float = 0.0
+    #: retry-ladder pause seconds charged to this leg's latency
+    retry_pause_s: float = 0.0
     #: dead replicas skipped before the primary launched
     failovers: int = 0
     #: a hedge request was actually launched
     hedged: bool = False
     #: ... and it beat the primary
     hedge_won: bool = False
+    #: no live replica could serve this shard (structured outcome, not
+    #: an exception — the gather merges whatever shards did answer)
+    unavailable: bool = False
     payload: Any = None
 
 
@@ -92,10 +102,12 @@ class ScatterResult:
     hedges_launched: int = 0
     hedge_wins: int = 0
     failovers: int = 0
+    #: shards that resolved unavailable (no live replica in budget)
+    unavailable_shards: int = 0
 
     def payloads(self) -> List[Any]:
-        """Winning payload per shard, shard-ordered."""
-        return [o.payload for o in self.outcomes]
+        """Winning payload per available shard, shard-ordered."""
+        return [o.payload for o in self.outcomes if not o.unavailable]
 
 
 class _ShardLeg:
@@ -119,28 +131,62 @@ class _ShardLeg:
         self._timer = None
         self._backup: Optional[ReplicaAttempt] = None
         self._detect_s = 0.0
+        self._pause_s = 0.0
         self._failovers = 0
         self._hedged = False
 
     def launch(self) -> None:
         live: List[ReplicaAttempt] = []
+        delays = self.job.backoff_delays
+        exhausted = False
         for attempt in self.job.attempts:
             if attempt.alive:
                 live.append(attempt)
-            elif not live:
-                # a dead replica ahead of the primary costs one full
-                # detection ladder before the coordinator moves on
-                self._detect_s += self.job.detect_seconds
-                self._failovers += 1
-        if not live:
-            raise ClusterError(
-                f"shard {self.job.shard} has no live replica to serve"
+                continue
+            if live:
+                continue
+            # a dead replica ahead of the primary costs one full
+            # detection ladder before the coordinator moves on
+            self._detect_s += self.job.detect_seconds
+            self._failovers += 1
+            if delays is not None:
+                # the retry ladder gates the next rung: no pause left
+                # (attempt or budget cap) means the shard resolves
+                # unavailable instead of walking the order forever
+                if self._failovers - 1 < len(delays):
+                    self._pause_s += delays[self._failovers - 1]
+                else:
+                    exhausted = True
+                    break
+        if exhausted or not live:
+            # structured unavailability: the leg completes once the
+            # detection (and any retry pauses) has been paid, carrying
+            # no payload for the gather to merge
+            done = self._detect_s + self._pause_s
+            if self.tracer is not None:
+                self.tracer.complete(
+                    self.track, "unavailable", 0.0, done,
+                    cat="cluster.detect",
+                    args={"failovers": self._failovers},
+                )
+            self.outcome = ShardOutcome(
+                shard=self.job.shard,
+                replica=-1,
+                start_s=done,
+                done_s=done,
+                detect_s=self._detect_s,
+                retry_pause_s=self._pause_s,
+                failovers=self._failovers,
+                unavailable=True,
             )
+            if self.metrics is not None:
+                self.metrics.counter("cluster.shards_unavailable").inc()
+            return
         primary = live[0]
-        start = self._detect_s
-        if self.tracer is not None and self._detect_s > 0.0:
+        start = self._detect_s + self._pause_s
+        if self.tracer is not None and start > 0.0:
             self.tracer.complete(
-                self.track, "detect", 0.0, self._detect_s,
+                self.track, "detect", 0.0, start,
                 cat="cluster.detect",
                 args={"failovers": self._failovers},
             )
@@ -204,6 +250,7 @@ class _ShardLeg:
             start_s=start,
             done_s=self.sim.now,
             detect_s=self._detect_s,
+            retry_pause_s=self._pause_s,
             failovers=self._failovers,
             hedged=hedged,
             hedge_won=hedge_won,
@@ -250,12 +297,16 @@ def run_scatter(
             )
         outcomes.append(leg.outcome)
     outcomes.sort(key=lambda o: o.shard)
+    if all(o.unavailable for o in outcomes):
+        # nothing answered — there is no partial result to return
+        raise ClusterError("no shard has a live replica to serve")
     result = ScatterResult(
         outcomes=outcomes,
         makespan_s=max(o.done_s for o in outcomes),
         hedges_launched=sum(1 for o in outcomes if o.hedged),
         hedge_wins=sum(1 for o in outcomes if o.hedge_won),
         failovers=sum(o.failovers for o in outcomes),
+        unavailable_shards=sum(1 for o in outcomes if o.unavailable),
     )
     if metrics is not None:
         metrics.counter("cluster.scatters").inc()

@@ -23,7 +23,12 @@ failed reads on dead chips), and :mod:`repro.core.event_query`
 (accelerator failures with degraded-mode stripe remapping).
 """
 
-from repro.faults.injector import FaultInjector, ReliabilityCounters
+from repro.faults.injector import (
+    FaultInjector,
+    ReliabilityCounters,
+    crash_time_unit,
+    retry_jitter_unit,
+)
 from repro.faults.plan import ComponentFailure, FaultPlan
 
 __all__ = [
@@ -31,4 +36,6 @@ __all__ = [
     "ComponentFailure",
     "FaultInjector",
     "ReliabilityCounters",
+    "crash_time_unit",
+    "retry_jitter_unit",
 ]

@@ -44,6 +44,12 @@ _DOMAIN_READ_RETRY_DEPTH = 5
 _DOMAIN_CRC_DEPTH = 6
 _DOMAIN_PROGRAM = 7
 _DOMAIN_PROGRAM_DEPTH = 8
+# the cluster retry ladder's jitter and the chaos harness's crash times
+# draw from their own domains: merging a chaos schedule into a plan (or
+# enabling retries) can never reshuffle the read/program fault pattern
+# of an otherwise identical run
+_DOMAIN_RETRY_JITTER = 9
+_DOMAIN_CRASH_TIME = 10
 
 
 def _mix(*values: int) -> int:
@@ -63,6 +69,28 @@ def _mix(*values: int) -> int:
 def _unit(*values: int) -> float:
     """A deterministic uniform draw in [0, 1) keyed by ``values``."""
     return _mix(*values) / float(1 << 64)
+
+
+def retry_jitter_unit(seed: int, *key: int) -> float:
+    """Uniform [0, 1) draw for one retry-ladder jitter decision.
+
+    Keyed in the dedicated ``_DOMAIN_RETRY_JITTER`` hash domain so the
+    retry subsystem's randomness is byte-independent of every read /
+    CRC / program fault stream: turning retries on (or changing their
+    keys) leaves an otherwise identical run's fault pattern untouched.
+    """
+    return _unit(seed, _DOMAIN_RETRY_JITTER, *key)
+
+
+def crash_time_unit(seed: int, *key: int) -> float:
+    """Uniform [0, 1) draw for one chaos-schedule crash time.
+
+    Same isolation contract as :func:`retry_jitter_unit`, in the
+    ``_DOMAIN_CRASH_TIME`` domain: generating a chaos schedule from a
+    seed never perturbs the device-level fault draws that same seed
+    produces.
+    """
+    return _unit(seed, _DOMAIN_CRASH_TIME, *key)
 
 
 class _CounterField:

@@ -90,6 +90,65 @@ class MutableFeatureStore:
         self._physical_rows = base.shape[0]
 
     # ------------------------------------------------------------------
+    # durable state (checkpoint / recovery support)
+    # ------------------------------------------------------------------
+    def state_tuple(self) -> Tuple:
+        """The store's complete logical state as plain values.
+
+        Everything a bit-exact reconstruction needs: row data, epoch,
+        tombstone map, insert boundaries, clustered/delta bookkeeping,
+        and the mutation log.  :meth:`from_state` inverts it; the
+        recovery property suite asserts the round trip is lossless.
+        """
+        return (
+            self.features().copy(),
+            self.epoch,
+            tuple(sorted(self._deleted_at.items())),
+            tuple(self._inserted_at_boundaries),
+            self._clustered_ids.copy(),
+            self.clustered_epoch,
+            self._physical_rows,
+            tuple(self.log),
+        )
+
+    @classmethod
+    def from_state(
+        cls,
+        rows: np.ndarray,
+        epoch: int,
+        deleted_at: Sequence[Tuple[int, int]],
+        boundaries: Sequence[Tuple[int, int]],
+        clustered_ids: np.ndarray,
+        clustered_epoch: int,
+        physical_rows: int,
+        log: Sequence[Mutation],
+    ) -> "MutableFeatureStore":
+        """Rebuild a store from a :meth:`state_tuple` image."""
+        rows = np.asarray(rows, dtype=np.float32)
+        store = cls(rows)
+        store.epoch = int(epoch)
+        store._deleted_at = {int(f): int(e) for f, e in deleted_at}
+        store._inserted_at_boundaries = [
+            (int(e), int(n)) for e, n in boundaries
+        ]
+        store._clustered_ids = np.asarray(clustered_ids, dtype=np.int64).copy()
+        store.clustered_epoch = int(clustered_epoch)
+        store._physical_rows = int(physical_rows)
+        store.log = list(log)
+        return store
+
+    def state_equal(self, other: "MutableFeatureStore") -> bool:
+        """Bit-exact logical equality (rows, epochs, tombstones, delta)."""
+        a, b = self.state_tuple(), other.state_tuple()
+        return (
+            a[0].shape == b[0].shape
+            and bool(np.array_equal(a[0], b[0]))
+            and a[1:4] == b[1:4]
+            and bool(np.array_equal(a[4], b[4]))
+            and a[5:] == b[5:]
+        )
+
+    # ------------------------------------------------------------------
     # shape / accounting
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,63 @@
+"""Crash-durable recovery for the mutable DeepStore database.
+
+The ingest subsystem (:mod:`repro.ingest`) made the database mutable;
+this package makes the mutations survive crashes.  Three pieces:
+
+* :mod:`repro.recovery.wal` — a write-ahead log on its own bounded
+  flash region, with write amplification measured by the FTL rather
+  than assumed;
+* :mod:`repro.recovery.checkpoint` — periodic frozen images of the
+  store state that bound replay work and let the WAL truncate;
+* :mod:`repro.recovery.durable` — :class:`DurableStore`, the WAL-first
+  wrapper whose :func:`recover` path reconstructs epoch, tombstone,
+  and delta state **bit-exactly** from the durable image alone (proved
+  against the oracle replay by the hypothesis suite), plus
+  :mod:`repro.recovery.resync` for replica catch-up after restarts.
+"""
+
+from repro.recovery.checkpoint import (
+    Checkpoint,
+    CheckpointPolicy,
+    checkpoint_read_seconds,
+    checkpoint_write_seconds,
+    take_checkpoint,
+)
+from repro.recovery.durable import (
+    APPLY_SECONDS_PER_RECORD,
+    DurableImage,
+    DurableStore,
+    PendingMutation,
+    RecoveryReport,
+    WalConfig,
+    apply_record,
+    recover,
+)
+from repro.recovery.resync import ResyncPlan, plan_resync
+from repro.recovery.wal import (
+    WAL_OPS,
+    RecoveryError,
+    WalRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "APPLY_SECONDS_PER_RECORD",
+    "Checkpoint",
+    "CheckpointPolicy",
+    "DurableImage",
+    "DurableStore",
+    "PendingMutation",
+    "RecoveryError",
+    "RecoveryReport",
+    "ResyncPlan",
+    "WAL_OPS",
+    "WalConfig",
+    "WalRecord",
+    "WriteAheadLog",
+    "apply_record",
+    "checkpoint_read_seconds",
+    "checkpoint_write_seconds",
+    "plan_resync",
+    "recover",
+    "take_checkpoint",
+]

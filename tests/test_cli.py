@@ -290,9 +290,18 @@ class TestClusterCommand:
         assert payload["config"]["dead_replicas"] == [[0, 0]]
         assert payload["queries"][0]["failovers"] == 1
 
-    def test_unservable_cluster_fails_cleanly(self, capsys):
+    def test_dead_shard_serves_partial_topk(self, capsys):
+        # one of two shards fully dead: the query now resolves as a
+        # flagged partial answer instead of failing the whole command
         assert main(self.SMALL + ["--shards", "2",
-                                  "--fail-shards", "0"]) == 1
+                                  "--fail-shards", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "PARTIAL (1 shard(s) unavailable)" in out
+
+    def test_unservable_cluster_fails_cleanly(self, capsys):
+        # every replica of every shard dead: nothing can answer
+        assert main(self.SMALL + ["--shards", "2",
+                                  "--fail-shards", "0,1"]) == 1
         assert "error" in capsys.readouterr().err
 
     def test_scorecard_mode(self, capsys):
@@ -358,3 +367,57 @@ class TestIngestCommand:
             "slowdown_at_0", "slowdown_at_0.25",
             "slowdown_at_0.5", "slowdown_at_0.75",
         }
+
+
+class TestChaosCommand:
+    SMALL = ["chaos", "--crashes", "1", "--kills", "1", "--queries", "6"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 0
+        assert args.duration == 1.0
+        assert args.track == "both"
+        assert not args.scorecard
+
+    def test_parser_rejects_bad_track(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--track", "meteor"])
+
+    def test_human_output_covers_both_tracks(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "durability" in out
+        assert "bit-equal" in out
+        assert "availability" in out
+        assert "MTTR" in out
+
+    def test_single_track_runs_only_that_track(self, capsys):
+        assert main(self.SMALL + ["--track", "durability"]) == 0
+        out = capsys.readouterr().out
+        assert "durability" in out
+        assert "availability" not in out
+
+    def test_json_deterministic(self, capsys):
+        import json
+
+        cmd = self.SMALL + ["--json", "--seed", "5"]
+        assert main(cmd) == 0
+        first = capsys.readouterr().out
+        assert main(cmd) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["durability"]["bit_equal"] == 1
+        assert 0.0 < payload["availability"]["availability"] <= 1.0
+
+    def test_scorecard_mode_matches_perf_gate_leg(self, capsys):
+        import json
+
+        from repro.recovery.scorecard import build_recovery_scorecard
+
+        assert main(["chaos", "--scorecard"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == build_recovery_scorecard()
+
+    def test_bad_config_fails_cleanly(self, capsys):
+        assert main(["chaos", "--duration", "0"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -119,9 +119,42 @@ class TestDeepStoreCluster:
         # ... without changing the answer
         assert np.array_equal(first.feature_ids, second.feature_ids)
 
-    def test_all_replicas_dead_raises_not_wrong(self, tir_app):
+    def test_all_replicas_dead_yields_partial_not_raise(self, tir_app):
+        # regression: an all-dead shard used to blow up the whole query;
+        # it must now resolve as a structured per-shard unavailable leg
+        # with an explicitly flagged partial top-K
         cluster, model, db, qfv = _cluster(
             tir_app, n_shards=2, n_replicas=2, fail_shards=((1, 0), (1, 1))
+        )
+        result = cluster.query(qfv, k=K, model_id=model, db_id=db)
+        assert result.partial
+        assert result.unavailable_shards == 1
+        dead_leg = next(s for s in result.shards if s.shard == 1)
+        assert dead_leg.unavailable and dead_leg.replica == -1
+        assert dead_leg.k_returned == 0
+        # the dead shard still cost its detection ladders
+        assert dead_leg.failovers == 2
+        live_leg = next(s for s in result.shards if s.shard == 0)
+        assert not live_leg.unavailable
+        # answers cover the shard that answered, exactly
+        healthy, hm, hdb, _ = _cluster(tir_app, n_shards=2, n_replicas=2)
+        full = healthy.query(qfv, k=K, model_id=hm, db_id=hdb)
+        live_owner_ids = set(
+            int(i) for i in cluster.placement_of(db).owners[0]
+        )
+        assert all(int(i) in live_owner_ids for i in result.feature_ids)
+        # the full top-K filtered to the live shard is a prefix of the
+        # partial top-K (the partial answer is exact over what answered)
+        expected_prefix = [
+            int(i) for i in full.feature_ids if int(i) in live_owner_ids
+        ]
+        assert list(map(int, result.feature_ids))[: len(expected_prefix)] \
+            == expected_prefix
+        assert "unavailable_shards" in result.to_dict()
+
+    def test_every_shard_dead_still_raises(self, tir_app):
+        cluster, model, db, qfv = _cluster(
+            tir_app, n_shards=2, n_replicas=1, fail_shards=(0, 1)
         )
         with pytest.raises(ClusterError):
             cluster.query(qfv, k=K, model_id=model, db_id=db)

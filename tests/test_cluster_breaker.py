@@ -1,0 +1,177 @@
+"""Property suite for the circuit breaker (satellite 3b).
+
+Hypothesis drives random event sequences (successes, failures, allow
+probes, clock advances) through a :class:`CircuitBreaker` and checks the
+state-machine invariants the coordinator leans on:
+
+* an **open** breaker never serves — ``allow`` is False for the whole
+  cool-down, regardless of traffic;
+* a **half-open** breaker admits exactly ``half_open_probes`` requests,
+  no matter how many ``allow`` calls arrive;
+* transitions follow the classic closed → open → half-open → {closed,
+  open} graph, timestamped in order.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import BreakerConfig, BreakerState, CircuitBreaker
+from repro.cluster.config import ClusterError
+
+@st.composite
+def configs(draw):
+    window = draw(st.integers(min_value=1, max_value=12))
+    return BreakerConfig(
+        window=window,
+        failure_threshold=draw(st.floats(min_value=0.1, max_value=1.0)),
+        min_samples=draw(st.integers(min_value=1, max_value=window)),
+        open_seconds=draw(st.floats(min_value=0.01, max_value=0.2)),
+        half_open_probes=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+configs = configs()
+
+# an event stream: (kind, dt) — the clock only moves forward
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["success", "failure", "allow"]),
+        st.floats(min_value=0.0, max_value=0.05),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _drive(breaker, stream):
+    """Replay a stream; return [(now, state_before, kind, allowed)]."""
+    now = 0.0
+    trace = []
+    for kind, dt in stream:
+        now += dt
+        state = breaker.state(now)
+        allowed = None
+        if kind == "success":
+            breaker.record_success(now)
+        elif kind == "failure":
+            breaker.record_failure(now)
+        else:
+            allowed = breaker.allow(now)
+        trace.append((now, state, kind, allowed))
+    return trace
+
+
+class TestBreakerInvariants:
+    @given(configs, events)
+    @settings(max_examples=300, deadline=None)
+    def test_open_never_serves_and_half_open_admits_probe_budget(
+        self, config, stream
+    ):
+        breaker = CircuitBreaker(config)
+        trace = _drive(breaker, stream)
+
+        # replay the trace against the transition log to bound each
+        # state interval, then check every allow() against it
+        half_open_admits = 0
+        for now, state, kind, allowed in trace:
+            if state is not BreakerState.HALF_OPEN:
+                half_open_admits = 0  # any excursion starts a new episode
+            if kind != "allow":
+                if kind == "failure" and state is BreakerState.HALF_OPEN:
+                    # re-opened: the next half-open is a fresh episode,
+                    # possibly with no observed OPEN entry in between
+                    half_open_admits = 0
+                continue
+            if state is BreakerState.OPEN:
+                assert allowed is False  # the whole point
+            elif state is BreakerState.CLOSED:
+                assert allowed is True
+            else:
+                if allowed:
+                    half_open_admits += 1
+                # never beyond the budget within one half-open episode
+                assert half_open_admits <= config.half_open_probes
+
+    @given(configs, events)
+    @settings(max_examples=300, deadline=None)
+    def test_transition_graph_and_timestamps(self, config, stream):
+        breaker = CircuitBreaker(config)
+        _drive(breaker, stream)
+        legal = {
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+            (BreakerState.HALF_OPEN, BreakerState.OPEN),
+        }
+        times = [t for t, _f, _t in breaker.transitions]
+        assert times == sorted(times)
+        for _now, src, dst in breaker.transitions:
+            assert (src, dst) in legal
+
+    @given(configs, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_cooldown_is_respected_exactly(self, config, fraction):
+        breaker = CircuitBreaker(config)
+        # slam it open
+        for _ in range(max(config.min_samples, config.window)):
+            breaker.record_failure(1.0)
+        assert breaker.state(1.0) is BreakerState.OPEN
+        opened_at = breaker.transitions[-1][0]
+        inside = opened_at + fraction * config.open_seconds * 0.999
+        assert breaker.state(inside) is BreakerState.OPEN
+        assert not breaker.allow(inside)
+        after = opened_at + config.open_seconds * 1.001
+        assert breaker.state(after) is BreakerState.HALF_OPEN
+
+    @given(configs)
+    @settings(max_examples=100, deadline=None)
+    def test_probe_success_closes_probe_failure_reopens(self, config):
+        def slam(b):
+            for _ in range(max(config.min_samples, config.window)):
+                b.record_failure(0.0)
+            assert b.state(0.0) is BreakerState.OPEN
+
+        # all probes succeed -> CLOSED with a clean window
+        breaker = CircuitBreaker(config)
+        slam(breaker)
+        t = config.open_seconds * 1.001  # float-safe past the cool-down
+        for _ in range(config.half_open_probes):
+            assert breaker.allow(t)
+            breaker.record_success(t)
+        assert breaker.state(t) is BreakerState.CLOSED
+        assert breaker.failure_rate == 0.0
+
+        # any probe fails -> OPEN again, with a fresh cool-down
+        breaker = CircuitBreaker(config)
+        slam(breaker)
+        assert breaker.allow(t)
+        breaker.record_failure(t)
+        assert breaker.state(t) is BreakerState.OPEN
+        assert not breaker.allow(t + config.open_seconds * 0.5)
+        assert breaker.state(t + config.open_seconds * 1.001) is (
+            BreakerState.HALF_OPEN
+        )
+
+    @given(configs, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_closed_needs_min_samples_to_open(self, config, failures):
+        breaker = CircuitBreaker(config)
+        for _ in range(min(failures, config.min_samples - 1)):
+            breaker.record_failure(0.0)
+        assert breaker.state(0.0) is BreakerState.CLOSED
+
+
+class TestBreakerValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ClusterError):
+            BreakerConfig(window=0)
+        with pytest.raises(ClusterError):
+            BreakerConfig(failure_threshold=0.0)
+        with pytest.raises(ClusterError):
+            BreakerConfig(min_samples=0)
+        with pytest.raises(ClusterError):
+            BreakerConfig(open_seconds=-1.0)
+        with pytest.raises(ClusterError):
+            BreakerConfig(half_open_probes=0)
+        with pytest.raises(ClusterError):
+            BreakerConfig(window=2, min_samples=3)

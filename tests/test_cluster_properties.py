@@ -164,19 +164,30 @@ class TestScatterProperties:
     @given(replica_plans)
     @settings(max_examples=150, deadline=None)
     def test_failover_uses_first_live_replica(self, plans):
-        servable = all(any(alive for alive, _ in plan) for plan in plans)
+        any_servable = any(any(alive for alive, _ in plan) for plan in plans)
         jobs = [
             _job(s, [(r, alive, secs) for r, (alive, secs) in enumerate(plan)])
             for s, plan in enumerate(plans)
         ]
-        if not servable:
+        if not any_servable:
+            # only a fully-dead *cluster* raises; a dead shard resolves
+            # as a structured unavailable outcome below
             with pytest.raises(ClusterError):
                 run_scatter(jobs)
             return
         result = run_scatter(jobs)
         assert len(result.outcomes) == len(plans)
         for outcome, plan in zip(result.outcomes, plans):
+            if not any(alive for alive, _ in plan):
+                assert outcome.unavailable
+                assert outcome.replica == -1
+                assert outcome.payload is None
+                assert outcome.failovers == len(plan)  # every corpse tried
+                assert outcome.detect_s == pytest.approx(0.01 * len(plan))
+                assert outcome.done_s == pytest.approx(outcome.detect_s)
+                continue
             first_live = next(r for r, (a, _) in enumerate(plan) if a)
+            assert not outcome.unavailable
             assert outcome.replica == first_live
             assert outcome.payload == (outcome.shard, first_live)
             assert outcome.failovers == first_live  # corpses ahead of it
@@ -184,6 +195,9 @@ class TestScatterProperties:
             assert outcome.done_s == pytest.approx(
                 outcome.detect_s + plan[first_live][1]
             )
+        assert result.unavailable_shards == sum(
+            1 for plan in plans if not any(a for a, _ in plan)
+        )
         assert result.makespan_s == pytest.approx(
             max(o.done_s for o in result.outcomes)
         )

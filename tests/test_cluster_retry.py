@@ -1,0 +1,112 @@
+"""Property suite for the retry ladder (satellite 3c).
+
+Backoff monotonicity and budget conservation, swept by hypothesis over
+policy shapes, seeds, and keys — plus byte-stability of the jitter
+stream (it lives in its own fault hash domain).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ClusterError, RetryLadder, RetryPolicy
+from repro.faults import retry_jitter_unit
+
+policies = st.builds(
+    RetryPolicy,
+    base_delay_s=st.floats(min_value=1e-6, max_value=1e-3),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay_s=st.floats(min_value=1e-3, max_value=1e-2),
+    max_attempts=st.integers(min_value=1, max_value=8),
+    budget_s=st.floats(min_value=0.0, max_value=2e-2),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+)
+seeds = st.integers(min_value=0, max_value=2**16)
+keys = st.tuples(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=64),
+)
+
+
+class TestBackoffShape:
+    @given(policies, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_raw_delays_are_nondecreasing_and_capped(self, policy, attempt):
+        assert policy.raw_delay(attempt) <= policy.raw_delay(attempt + 1) or (
+            policy.raw_delay(attempt) == policy.max_delay_s
+        )
+        assert policy.raw_delay(attempt) <= policy.max_delay_s
+        assert policy.raw_delay(0) == min(
+            policy.max_delay_s, policy.base_delay_s
+        )
+
+    @given(policies, seeds, keys)
+    @settings(max_examples=200, deadline=None)
+    def test_jitter_stays_inside_the_band(self, policy, seed, key):
+        ladder = RetryLadder(policy, seed, *key)
+        for attempt, delay in enumerate(ladder.all_delays()):
+            raw = policy.raw_delay(attempt)
+            assert (1.0 - policy.jitter) * raw <= delay <= raw
+
+
+class TestBudgetConservation:
+    @given(policies, seeds, keys)
+    @settings(max_examples=300, deadline=None)
+    def test_charged_never_exceeds_budget_or_attempts(self, policy, seed, key):
+        ladder = RetryLadder(policy, seed, *key)
+        delays = ladder.all_delays()
+        # conservation: what was granted is exactly what was charged
+        assert ladder.charged_s == pytest.approx(sum(delays))
+        assert ladder.charged_s <= policy.budget_s
+        assert ladder.attempts == len(delays) <= policy.max_attempts
+        # the ladder stopped for a stated reason, and that reason holds
+        if len(delays) < policy.max_attempts:
+            assert ladder.exhausted == "budget"
+            next_raw = policy.raw_delay(len(delays))
+            u = retry_jitter_unit(seed, *key, len(delays))
+            refused = next_raw * (1.0 - policy.jitter * u)
+            assert ladder.charged_s + refused > policy.budget_s
+        else:
+            assert ladder.exhausted == "attempts"
+
+    @given(policies, seeds, keys)
+    @settings(max_examples=100, deadline=None)
+    def test_exhausted_ladder_stays_exhausted(self, policy, seed, key):
+        ladder = RetryLadder(policy, seed, *key)
+        ladder.all_delays()
+        assert ladder.next_delay() is None
+        assert ladder.exhausted in ("attempts", "budget")
+
+
+class TestDeterminism:
+    @given(policies, seeds, keys)
+    @settings(max_examples=100, deadline=None)
+    def test_same_key_same_delays(self, policy, seed, key):
+        a = RetryLadder(policy, seed, *key).all_delays()
+        b = RetryLadder(policy, seed, *key).all_delays()
+        assert a == b  # bit-equal floats, not approx
+
+    @given(seeds, keys)
+    @settings(max_examples=100, deadline=None)
+    def test_different_key_different_stream(self, seed, key):
+        # the key actually scopes the draws: distinct keys hit distinct
+        # hash points (4 simultaneous collisions would be a hash bug)
+        a = [retry_jitter_unit(seed, *key, i) for i in range(4)]
+        b = [retry_jitter_unit(seed, key[0] + 1, key[1], i) for i in range(4)]
+        assert a != b
+        assert all(0.0 <= u < 1.0 for u in a)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ClusterError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ClusterError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ClusterError):
+            RetryPolicy(max_delay_s=1e-9, base_delay_s=1e-3)
+        with pytest.raises(ClusterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ClusterError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ClusterError):
+            RetryPolicy().raw_delay(-1)
