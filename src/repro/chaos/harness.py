@@ -38,6 +38,8 @@ from repro.cluster import (
     RetryPolicy,
 )
 from repro.ingest.store import oracle_topk
+from repro.obs.dtrace import TraceCollector
+from repro.obs.slo import SloMonitor, default_chaos_monitor
 from repro.recovery import (
     CheckpointPolicy,
     DurableStore,
@@ -378,6 +380,13 @@ class ClusterChaosReport:
     brownout_transitions: List[Tuple[float, int, int]] = field(
         default_factory=list
     )
+    # SLO telemetry — NOT in to_dict: the perf gate's scorecard leaves
+    # must stay byte-identical whether or not monitoring is attached
+    alerts: List[object] = field(default_factory=list)
+    first_fault_s: Optional[float] = None
+    first_alert_s: Optional[float] = None
+    alert_latency_s: Optional[float] = None
+    slo: Dict[str, object] = field(default_factory=dict)
 
     @property
     def availability(self) -> float:
@@ -411,10 +420,28 @@ class ClusterChaosReport:
         }
 
 
+#: a served query is "slow" when it takes this many times the healthy
+#: twin's latency for the same query — the latency SLO's bad threshold
+SLOW_FACTOR = 3.0
+
+
 def run_cluster_chaos(
     config: Optional[ChaosConfig] = None,
+    monitor: Optional[SloMonitor] = None,
+    dtrace: Optional[TraceCollector] = None,
 ) -> ClusterChaosReport:
-    """Serve a query train through correlated kills and restarts."""
+    """Serve a query train through correlated kills and restarts.
+
+    Every offered query feeds two SLOs on the attached ``monitor``
+    (defaulting to :func:`~repro.obs.slo.default_chaos_monitor`):
+    *availability* (bad = shed, failed, partial, or failed-over) and
+    *latency* (bad = served slower than ``SLOW_FACTOR`` × the healthy
+    twin's time for the same query).  The report's ``alert_latency_s``
+    is how long after the first kill the first burn-rate alert fired —
+    the chaos day's detection-time metric.  Monitoring and tracing read
+    the run; they never schedule events or touch the RNG, so the
+    scorecard block is byte-identical with or without them.
+    """
     cfg = config or ChaosConfig()
     app = get_app(cfg.app)
     rng = np.random.default_rng(cfg.seed + 1)
@@ -475,6 +502,9 @@ def run_cluster_chaos(
     report = ClusterChaosReport()
     down_epochs: Dict[Tuple[int, int], Tuple[float, int]] = {}
     recalls: List[float] = []
+    slo = monitor if monitor is not None else default_chaos_monitor(
+        cfg.duration_s
+    )
 
     def play(event: ChaosEvent) -> None:
         if event.kind == "burst":
@@ -528,13 +558,16 @@ def run_cluster_chaos(
             and brownout.shed_low_priority
         ):
             report.shed += 1
+            slo.record("availability", now, good=False)
             continue
         try:
             result = cluster.query(
-                queries[i], k=cfg.k, model_id=model, db_id=db, now_s=now
+                queries[i], k=cfg.k, model_id=model, db_id=db, now_s=now,
+                dtrace=dtrace,
             )
         except ClusterError:
             report.failed += 1
+            slo.record("availability", now, good=False)
             continue
         report.served += 1
         if result.partial:
@@ -545,6 +578,14 @@ def run_cluster_chaos(
         report.failovers += result.failovers
         reference = twin.query(
             queries[i], k=cfg.k, model_id=twin_model, db_id=twin_db
+        )
+        slo.record(
+            "availability", now,
+            good=not (result.partial or result.failovers > 0),
+        )
+        slo.record(
+            "latency", now,
+            good=result.seconds <= SLOW_FACTOR * reference.seconds,
         )
         truth = set(int(x) for x in reference.feature_ids)
         got = set(int(x) for x in result.feature_ids)
@@ -565,4 +606,17 @@ def run_cluster_chaos(
         report.max_brownout_level = max(
             [t[2] for t in cluster.brownout.transitions], default=0
         )
+
+    # SLO rollup: detection time relative to the first injected kill
+    slo.finish(cfg.duration_s)
+    report.alerts = list(slo.alerts)
+    report.slo = slo.report()
+    kills = [e.at_s for e in schedule.of_kind("kill")]
+    report.first_fault_s = min(kills) if kills else None
+    if report.first_fault_s is not None:
+        report.first_alert_s = slo.first_alert_at(report.first_fault_s)
+    else:
+        report.first_alert_s = slo.first_alert_at(0.0)
+    if report.first_alert_s is not None and report.first_fault_s is not None:
+        report.alert_latency_s = report.first_alert_s - report.first_fault_s
     return report

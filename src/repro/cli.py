@@ -788,6 +788,177 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Critical-path attribution for one clustered query.
+
+    Runs a small hardened cluster (hedging, retries, one dead replica
+    by default — the interesting regime), traces every query with the
+    distributed-trace collector, and decomposes the chosen query's
+    end-to-end latency into named segments that sum **bit-exactly**
+    (IEEE-754 ``==``) to the reported total.  ``--out`` writes the
+    whole day's causal span forest as Chrome trace-event JSON.
+    """
+    import json
+
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterError,
+        DeepStoreCluster,
+        RetryPolicy,
+    )
+    from repro.obs import (
+        FleetAttribution,
+        TraceCollector,
+        cluster_critical_path,
+        write_dtrace,
+    )
+    from repro.workloads import get_app, train_scn
+
+    app = get_app(args.app)
+    try:
+        config = ClusterConfig(
+            n_shards=args.shards,
+            n_replicas=args.replicas,
+            seed=args.seed,
+            hedge_fraction=args.hedge if args.hedge > 0 else None,
+            straggler_spread=args.straggler,
+            fail_shards=_parse_fail_shards(args.fail_shards),
+            retry_policy=RetryPolicy(),
+        )
+    except (ClusterError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not 0 <= args.query_id < args.queries:
+        print(
+            f"error: query id {args.query_id} out of range "
+            f"(ran {args.queries} queries)",
+            file=sys.stderr,
+        )
+        return 1
+
+    rng = np.random.default_rng(args.seed)
+    features = rng.normal(0, 1, (args.features, app.feature_floats)).astype(
+        np.float32
+    )
+    dtrace = TraceCollector()
+    cluster = DeepStoreCluster(config)
+    try:
+        db = cluster.write_db(features)
+        model = cluster.load_graph(train_scn(app, seed=args.seed))
+        results = []
+        for q in range(args.queries):
+            qfv = rng.normal(0, 1, app.feature_floats).astype(np.float32)
+            results.append(
+                cluster.query(qfv, args.k, model, db, dtrace=dtrace)
+            )
+    except ClusterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    paths = [cluster_critical_path(r) for r in results]
+    fleet = FleetAttribution()
+    for path in paths:
+        fleet.add(path)
+    path = paths[args.query_id]
+    result = results[args.query_id]
+
+    if args.out:
+        write_dtrace(dtrace, args.out)
+    if args.json:
+        print(json.dumps({
+            "query_id": args.query_id,
+            "seconds": result.seconds,
+            "bit_exact": path.bit_exact,
+            "critical_path": path.as_dict(),
+            "fleet": fleet.as_dict(),
+            "trace": {
+                "spans": dtrace.span_count,
+                "traces": len(dtrace.trace_ids()),
+            },
+        }, indent=2, sort_keys=True))
+        return 0
+
+    print(f"query {args.query_id}: {result.seconds * 1e3:.3f} ms "
+          f"end-to-end ({config.describe()})")
+    print(path.table().render())
+    check = "bit-exact" if path.bit_exact else "NOT bit-exact"
+    print(f"segment sum: {path.component_sum() * 1e3:.6f} ms ({check})")
+    dominant = fleet.dominant_at(99.0)
+    print(f"fleet p99 dominant segment: {dominant['dominant']} "
+          f"({dominant['share'] * 100:.1f}% of tail seconds, "
+          f"{dominant['queries']} tail queries)")
+    if args.out:
+        print(f"wrote Chrome trace: {args.out}")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """SLO burn-rate monitoring over a chaos day.
+
+    Replays the availability chaos track with the stock monitor
+    (availability + latency SLOs, fast-burn alert rules) and reports
+    the windows, error budgets, every alert that fired, and the
+    detection time: how long after the first injected kill the first
+    alert fired.  ``--scorecard`` emits the machine-readable report CI
+    archives.
+    """
+    import json
+
+    from repro.chaos import ChaosConfig, ChaosError, run_cluster_chaos
+
+    try:
+        config = ChaosConfig(
+            seed=args.seed,
+            duration_s=args.duration,
+            kills=args.kills,
+            queries=args.queries,
+        )
+        report = run_cluster_chaos(config)
+    except ChaosError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    payload = {
+        "seed": config.seed,
+        "duration_s": config.duration_s,
+        "availability": report.availability,
+        "served": report.served,
+        "queries": report.queries,
+        "first_fault_s": report.first_fault_s,
+        "first_alert_s": report.first_alert_s,
+        "alert_latency_s": report.alert_latency_s,
+        "slo": report.slo,
+    }
+    if args.scorecard or args.json:
+        # always machine-readable: this is the artifact CI archives
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"slo monitor: seed {config.seed}, "
+          f"{config.duration_s * 1e3:.0f} ms chaos day, "
+          f"{config.kills} kill(s), {report.queries} queries")
+    slos = report.slo.get("slos", {})
+    for name, block in sorted(slos.items()):
+        print(f"  {name}: target {block['target']:.2f}, "
+              f"{block['events']} event(s), {block['bad']} bad, "
+              f"budget remaining {block['budget_remaining']:+.2f}"
+              f"{' VIOLATED' if block['violated'] else ''}")
+    alerts = report.alerts
+    print(f"  alerts fired: {len(alerts)}")
+    for alert in alerts:
+        print(f"    {alert.rule} @ {alert.at_s * 1e3:7.2f} ms "
+              f"(burn {alert.burn_rate:.2f}x, "
+              f"{alert.bad}/{alert.total} bad)")
+    if report.alert_latency_s is not None:
+        print(f"  first kill @ {report.first_fault_s * 1e3:.2f} ms, "
+              f"first alert @ {report.first_alert_s * 1e3:.2f} ms "
+              f"-> detection in {report.alert_latency_s * 1e3:.2f} ms")
+    elif report.first_fault_s is not None:
+        print(f"  first kill @ {report.first_fault_s * 1e3:.2f} ms, "
+              f"no alert fired after it")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import DeepStoreDevice
     from repro.analysis import format_seconds
@@ -1011,6 +1182,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the recovery leg of the CI perf gate")
     chaos.add_argument("--json", action="store_true")
 
+    explain = sub.add_parser(
+        "explain", help="critical-path attribution for one traced query"
+    )
+    explain.add_argument("query_id", type=int, nargs="?", default=0,
+                         help="which query of the traced run to explain")
+    explain.add_argument("--app", default="tir",
+                         choices=["reid", "mir", "estp", "tir", "textqa"])
+    explain.add_argument("--features", type=int, default=2_000,
+                         help="total dataset size in feature vectors")
+    explain.add_argument("--shards", type=int, default=3)
+    explain.add_argument("--replicas", type=int, default=2)
+    explain.add_argument("--k", type=int, default=5)
+    explain.add_argument("--queries", type=int, default=8,
+                         help="queries in the traced run")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--hedge", type=float, default=0.3,
+                         help="hedge fraction (>0 enables hedged requests)")
+    explain.add_argument("--straggler", type=float, default=0.5,
+                         help="deterministic replica straggler spread")
+    explain.add_argument("--fail-shards", default="1:0",
+                         help="dead replicas: comma-separated shard or "
+                              "shard:replica tokens (e.g. '0,3:1')")
+    explain.add_argument("--out", default="",
+                         help="write the Chrome trace-event JSON here")
+    explain.add_argument("--json", action="store_true")
+
+    slo = sub.add_parser(
+        "slo", help="SLO burn-rate monitoring over a chaos day"
+    )
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument("--duration", type=float, default=1.0,
+                     help="simulated day length in seconds")
+    slo.add_argument("--kills", type=int, default=4,
+                     help="replica kills on the availability track")
+    slo.add_argument("--queries", type=int, default=24)
+    slo.add_argument("--scorecard", action="store_true",
+                     help="emit the machine-readable SLO report (JSON)")
+    slo.add_argument("--json", action="store_true")
+
     demo = sub.add_parser("demo", help="end-to-end functional query")
     demo.add_argument("--app", default="tir",
                       choices=["reid", "mir", "estp", "tir", "textqa"])
@@ -1037,6 +1247,8 @@ COMMANDS = {
     "cluster": _cmd_cluster,
     "ingest": _cmd_ingest,
     "chaos": _cmd_chaos,
+    "explain": _cmd_explain,
+    "slo": _cmd_slo,
     "demo": _cmd_demo,
 }
 

@@ -41,6 +41,7 @@ from repro.cluster.scatter import ReplicaAttempt, ShardJob, run_scatter
 from repro.core.api import DeepStoreDevice, QueryResult
 from repro.core.topk import KWayMergeStats, kway_merge_topk, topk_select
 from repro.nn import Graph
+from repro.obs.dtrace import QueryTraceContext, TraceCollector
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.ssd.timing import SsdConfig
@@ -66,6 +67,16 @@ class ShardReport:
     #: no live replica answered within the retry budget — the global
     #: top-K is partial and this shard contributed nothing
     unavailable: bool = False
+    # -- critical-path attribution inputs (NOT in to_dict: the perf
+    # gate's scorecard leaves must stay byte-identical) ---------------
+    #: the winning replica's own run time (the exact float it returned)
+    service_seconds: float = 0.0
+    #: hedge delay on the latency path (nonzero only when hedge won)
+    hedge_wait_seconds: float = 0.0
+    #: time the winning hedge saved vs the primary's planned finish
+    hedge_saved_seconds: float = 0.0
+    #: replicas the circuit breakers refused at dispatch time
+    breaker_rejections: int = 0
 
 
 @dataclass
@@ -294,6 +305,8 @@ class DeepStoreCluster:
         model_id: int,
         db_id: int,
         now_s: float = 0.0,
+        dtrace: Optional[TraceCollector] = None,
+        parent_ctx: Optional[QueryTraceContext] = None,
     ) -> ClusterQueryResult:
         """Scatter one query, gather the exact global top-K.
 
@@ -301,6 +314,12 @@ class DeepStoreCluster:
         clocks the circuit breakers and the brownout controller.  With
         neither configured it is inert and the legacy path is
         bit-identical.
+
+        ``dtrace`` records the query's causal span tree (root, fan-out,
+        per-shard legs with every attempt, gather) as a child of
+        ``parent_ctx`` — or as a fresh trace when the cluster is the
+        entry point.  Recording is pure bookkeeping: results and
+        timings are bit-identical with it on or off.
 
         A shard whose replicas are all dead (or retry-budget-exhausted)
         resolves as a structured *unavailable* leg: the returned top-K
@@ -319,19 +338,63 @@ class DeepStoreCluster:
         seq = self._query_seq
         self._query_seq += 1
 
+        costs = self.config.costs
+        scatter_s = costs.scatter_seconds(len(shards))
+        root_ctx: Optional[QueryTraceContext] = None
+        shard_ctxs: Optional[Dict[int, QueryTraceContext]] = None
+        if dtrace is not None:
+            if parent_ctx is not None:
+                root_ctx = dtrace.start_span(
+                    parent_ctx, f"cluster query {seq}", now_s,
+                    kind="cluster.query", track="cluster/coordinator", k=k,
+                )
+            else:
+                root_ctx = dtrace.start_trace(
+                    f"cluster query {seq}", now_s,
+                    kind="cluster.query", track="cluster/coordinator", k=k,
+                )
+            dtrace.add_span(
+                root_ctx, f"scatter fan-out x{len(shards)}",
+                now_s, now_s + scatter_s,
+                kind="cluster.scatter", track="cluster/coordinator",
+            )
+            shard_ctxs = {}
+            for shard in shards:
+                ctx = dtrace.start_span(
+                    root_ctx, f"shard {shard} leg", now_s + scatter_s,
+                    kind="cluster.shard", track=f"cluster/shard {shard}",
+                )
+                shard_ctxs[shard] = ctx
+                dtrace.flow(root_ctx, ctx)
+
         jobs: List[ShardJob] = []
         for shard in shards:
             jobs.append(
                 self._shard_job(shard, seq, qfv, k, models, dbs, now_s)
             )
-        scatter = run_scatter(jobs, tracer=self.tracer, metrics=self.metrics)
+        scatter = run_scatter(
+            jobs, tracer=self.tracer, metrics=self.metrics,
+            dtrace=dtrace, shard_ctxs=shard_ctxs,
+            base_s=now_s + scatter_s,
+        )
         job_by_shard = {job.shard: job for job in jobs}
 
         partials: List[List[Tuple[float, int]]] = []
         reports: List[ShardReport] = []
         for outcome in scatter.outcomes:
-            self._record_breakers(job_by_shard[outcome.shard], outcome, now_s)
+            job = job_by_shard[outcome.shard]
+            self._record_breakers(job, outcome, now_s)
+            shard_ctx = (
+                shard_ctxs.get(outcome.shard)
+                if shard_ctxs is not None else None
+            )
             if outcome.unavailable:
+                if dtrace is not None and shard_ctx is not None:
+                    dtrace.end_span(
+                        shard_ctx, now_s + scatter_s + outcome.done_s,
+                        status="unavailable",
+                        failovers=outcome.failovers,
+                    )
                 reports.append(
                     ShardReport(
                         shard=outcome.shard,
@@ -345,6 +408,7 @@ class DeepStoreCluster:
                         k_returned=0,
                         retry_pause_seconds=outcome.retry_pause_s,
                         unavailable=True,
+                        breaker_rejections=len(job.breaker_rejected),
                     )
                 )
                 continue
@@ -355,6 +419,24 @@ class DeepStoreCluster:
                 for score, local in zip(result.scores, result.feature_ids)
             ]
             partials.append(pairs)
+            if dtrace is not None and shard_ctx is not None:
+                # device execution as a leaf of the shard leg: the
+                # winning replica's simulated SSD run (or cache hit)
+                base = now_s + scatter_s
+                dtrace.add_span(
+                    shard_ctx,
+                    f"device s{outcome.shard}r{outcome.replica}",
+                    base + outcome.start_s, base + outcome.done_s,
+                    kind="device.query", track="device",
+                    **result.span_args(),
+                )
+                dtrace.end_span(
+                    shard_ctx, base + outcome.done_s,
+                    replica=outcome.replica,
+                    failovers=outcome.failovers,
+                    hedged=outcome.hedged,
+                    hedge_won=outcome.hedge_won,
+                )
             reports.append(
                 ShardReport(
                     shard=outcome.shard,
@@ -367,6 +449,10 @@ class DeepStoreCluster:
                     cache_hit=result.cache_hit,
                     k_returned=len(pairs),
                     retry_pause_seconds=outcome.retry_pause_s,
+                    service_seconds=outcome.service_s,
+                    hedge_wait_seconds=outcome.hedge_wait_s,
+                    hedge_saved_seconds=outcome.hedge_saved_s,
+                    breaker_rejections=len(job.breaker_rejected),
                 )
             )
         if len(partials) > 1:
@@ -376,8 +462,6 @@ class DeepStoreCluster:
             partials = [topk_select(p, k) for p in partials]
         merged, stats = kway_merge_topk(partials, k)
 
-        costs = self.config.costs
-        scatter_s = costs.scatter_seconds(len(shards))
         gather_s = costs.gather_seconds(stats.comparisons)
         total = scatter_s + scatter.makespan_s + gather_s
         if self.tracer is not None:
@@ -414,6 +498,25 @@ class DeepStoreCluster:
                 1 for r in reports if r.unavailable or r.failovers > 0
             )
             self.brownout.observe(now_s, stressed / len(reports))
+        if dtrace is not None and root_ctx is not None:
+            dtrace.add_span(
+                root_ctx, f"K-way gather ({stats.comparisons} cmp)",
+                now_s + scatter_s + scatter.makespan_s, now_s + total,
+                kind="cluster.gather", track="cluster/coordinator",
+                comparisons=stats.comparisons,
+            )
+            unavailable = sum(1 for r in reports if r.unavailable)
+            dtrace.end_span(
+                root_ctx, now_s + total,
+                status="partial" if unavailable else "ok",
+                hedges_launched=scatter.hedges_launched,
+                hedge_wins=scatter.hedge_wins,
+                failovers=scatter.failovers,
+                unavailable_shards=unavailable,
+                brownout_level=(
+                    self.brownout.level if self.brownout is not None else 0
+                ),
+            )
         return ClusterQueryResult(
             feature_ids=np.asarray([fid for _s, fid in merged], dtype=np.int64),
             scores=np.asarray([s for s, _fid in merged], dtype=np.float32),
@@ -457,6 +560,7 @@ class DeepStoreCluster:
         ]
         dead = set(cfg.dead_replicas())
         dead.update(self._down)
+        rejected: List[Tuple[int, str]] = []
         if self.breakers:
             # an open breaker is skipped at zero detection cost — that
             # is the entire point of remembering failures.  A half-open
@@ -468,12 +572,12 @@ class DeepStoreCluster:
             seen_live = False
             for r in order:
                 breaker = self.breakers[(shard, r)]
-                if (
-                    seen_live
-                    and breaker.state(now_s) is not BreakerState.CLOSED
-                ):
+                state = breaker.state(now_s)
+                if seen_live and state is not BreakerState.CLOSED:
+                    rejected.append((r, state.name.lower()))
                     continue
                 if not breaker.allow(now_s):
+                    rejected.append((r, state.name.lower()))
                     continue
                 admitted.append(r)
                 if (shard, r) not in dead:
@@ -530,6 +634,7 @@ class DeepStoreCluster:
                 detect_seconds=cfg.dispatch_policy.give_up_seconds(),
                 hedge_delay=None,
                 backoff_delays=backoff_delays,
+                breaker_rejected=tuple(rejected),
             )
         if hedging_on:
             # the hedge deadline keys off the shard's *healthy* latency,
@@ -558,4 +663,5 @@ class DeepStoreCluster:
             detect_seconds=cfg.dispatch_policy.give_up_seconds(),
             hedge_delay=hedge_delay,
             backoff_delays=backoff_delays,
+            breaker_rejected=tuple(rejected),
         )

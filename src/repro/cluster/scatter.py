@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.config import ClusterError
+from repro.obs.dtrace import QueryTraceContext, TraceCollector
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.sim.engine import Simulator
@@ -63,6 +64,10 @@ class ShardJob:
     #: rungs resolves the shard *unavailable*.  ``None`` keeps the
     #: legacy unlimited zero-pause failover walk bit-identical.
     backoff_delays: Optional[Tuple[float, ...]] = None
+    #: replicas the circuit breakers refused at dispatch time, as
+    #: (replica, breaker state name) — they never reach ``attempts`` but
+    #: the query's trace should still show the rejection
+    breaker_rejected: Tuple[Tuple[int, str], ...] = ()
 
 
 @dataclass
@@ -90,6 +95,15 @@ class ShardOutcome:
     #: an exception — the gather merges whatever shards did answer)
     unavailable: bool = False
     payload: Any = None
+    #: the winning replica's own run time — the exact float its runner
+    #: returned, so critical paths can replay ``start + service``
+    service_s: float = 0.0
+    #: hedge delay on the leg's latency path (only when the hedge won:
+    #: the backup could not start before its timer fired)
+    hedge_wait_s: float = 0.0
+    #: time the winning hedge shaved off the primary's planned
+    #: completion (diagnostic; not on the additive path)
+    hedge_saved_s: float = 0.0
 
 
 @dataclass
@@ -120,12 +134,21 @@ class _ShardLeg:
         metrics: Optional[MetricsRegistry],
         track,
         tracer: Optional[Tracer],
+        dtrace: Optional[TraceCollector] = None,
+        shard_ctx: Optional[QueryTraceContext] = None,
+        base_s: float = 0.0,
     ) -> None:
         self.job = job
         self.sim = sim
         self.metrics = metrics
         self.track = track
         self.tracer = tracer
+        #: distributed-trace collector + the query's per-shard parent
+        #: span; leg times are local (legs launch at sim time 0), so
+        #: ``base_s`` re-anchors them onto the query's wall clock
+        self.dtrace = dtrace
+        self.shard_ctx = shard_ctx
+        self.base_s = base_s
         self.outcome: Optional[ShardOutcome] = None
         self._events: Dict[int, Any] = {}  # replica -> completion Event
         self._timer = None
@@ -134,8 +157,21 @@ class _ShardLeg:
         self._pause_s = 0.0
         self._failovers = 0
         self._hedged = False
+        #: replica -> (start, seconds, tracer token) of launched runs
+        self._launched: Dict[int, Tuple[float, float, int]] = {}
+
+    def _dtrack(self) -> str:
+        return f"cluster/shard {self.job.shard}"
 
     def launch(self) -> None:
+        if self.dtrace is not None and self.shard_ctx is not None:
+            for replica, state in self.job.breaker_rejected:
+                self.dtrace.add_span(
+                    self.shard_ctx, f"breaker reject r{replica}",
+                    self.base_s, self.base_s,
+                    kind="cluster.breaker", track=self._dtrack(),
+                    status="rejected", replica=replica, state=state,
+                )
         live: List[ReplicaAttempt] = []
         delays = self.job.backoff_delays
         exhausted = False
@@ -169,6 +205,14 @@ class _ShardLeg:
                     cat="cluster.detect",
                     args={"failovers": self._failovers},
                 )
+            if self.dtrace is not None and self.shard_ctx is not None:
+                self.dtrace.add_span(
+                    self.shard_ctx, "unavailable",
+                    self.base_s, self.base_s + done,
+                    kind="cluster.detect", track=self._dtrack(),
+                    status="unavailable", failovers=self._failovers,
+                    retry_pause_s=self._pause_s,
+                )
             self.outcome = ShardOutcome(
                 shard=self.job.shard,
                 replica=-1,
@@ -190,6 +234,17 @@ class _ShardLeg:
                 cat="cluster.detect",
                 args={"failovers": self._failovers},
             )
+        if (
+            self.dtrace is not None
+            and self.shard_ctx is not None
+            and start > 0.0
+        ):
+            self.dtrace.add_span(
+                self.shard_ctx, f"failover detect x{self._failovers}",
+                self.base_s, self.base_s + start,
+                kind="cluster.detect", track=self._dtrack(),
+                failovers=self._failovers, retry_pause_s=self._pause_s,
+            )
         self._start_replica(primary, start)
         if self.job.hedge_delay is not None and len(live) > 1:
             self._backup = live[1]
@@ -206,18 +261,22 @@ class _ShardLeg:
             raise ClusterError("replica runner returned negative seconds")
         self._events[attempt.replica] = self.sim.schedule(
             start + seconds,
-            lambda: self._finish(attempt, start, payload),
+            lambda: self._finish(attempt, start, seconds, payload),
             label=f"shard{self.job.shard} r{attempt.replica} done",
         )
+        token = 0
         if self.tracer is not None:
-            self.tracer.complete(
+            # open-ended: a hedge race decides the *actual* end — the
+            # winner closes at its completion, the loser at the instant
+            # its completion event is cancelled
+            token = self.tracer.begin(
                 self.track,
                 f"replica {attempt.replica}",
                 start,
-                seconds,
                 cat="cluster.shard",
                 args={"shard": self.job.shard, "replica": attempt.replica},
             )
+        self._launched[attempt.replica] = (start, seconds, token)
 
     def _fire_hedge(self) -> None:
         self._timer = None
@@ -228,12 +287,38 @@ class _ShardLeg:
         self._hedged = True
         self._start_replica(backup, self.sim.now)
 
-    def _finish(self, attempt: ReplicaAttempt, start: float, payload: Any) -> None:
+    def _finish(
+        self,
+        attempt: ReplicaAttempt,
+        start: float,
+        seconds: float,
+        payload: Any,
+    ) -> None:
         # the loser's completion (if outstanding) must never run: its
         # payload closure is released by cancel()
+        now = self.sim.now
         for replica, event in self._events.items():
             if replica != attempt.replica:
                 event.cancel()
+                lstart, _lseconds, ltoken = self._launched[replica]
+                if self.tracer is not None:
+                    # the loser's span ends at cancellation, not at its
+                    # planned completion — that work never happened
+                    self.tracer.end(
+                        ltoken, now, args={"cancelled": True}
+                    )
+                    self.tracer.instant(
+                        self.track, f"cancel replica {replica}", now,
+                        cat="cluster.cancel",
+                        args={"shard": self.job.shard, "replica": replica},
+                    )
+                if self.dtrace is not None and self.shard_ctx is not None:
+                    self.dtrace.add_span(
+                        self.shard_ctx, f"attempt r{replica} (hedge loser)",
+                        self.base_s + lstart, self.base_s + now,
+                        kind="cluster.attempt", track=self._dtrack(),
+                        status="cancelled", replica=replica,
+                    )
         self._events.clear()
         if self._timer is not None:
             self._timer.cancel()
@@ -244,17 +329,47 @@ class _ShardLeg:
         )
         if hedge_won and self.metrics is not None:
             self.metrics.counter("cluster.hedge_wins").inc()
+        if self.tracer is not None:
+            _wstart, _wseconds, wtoken = self._launched[attempt.replica]
+            self.tracer.end(wtoken, now)
+        if self.dtrace is not None and self.shard_ctx is not None:
+            name = f"attempt r{attempt.replica}"
+            if hedge_won:
+                name += " (hedge winner)"
+            self.dtrace.add_span(
+                self.shard_ctx, name,
+                self.base_s + start, self.base_s + now,
+                kind="cluster.attempt", track=self._dtrack(),
+                replica=attempt.replica, hedged=hedged,
+                hedge_won=hedge_won,
+            )
+        hedge_saved = 0.0
+        if hedge_won:
+            # how much earlier the hedge landed vs the primary's
+            # planned completion (the primary launched first)
+            planned = max(
+                s + sec for _r, (s, sec, _t) in self._launched.items()
+                if _r != attempt.replica
+            )
+            hedge_saved = max(0.0, planned - now)
         self.outcome = ShardOutcome(
             shard=self.job.shard,
             replica=attempt.replica,
             start_s=start,
-            done_s=self.sim.now,
+            done_s=now,
             detect_s=self._detect_s,
             retry_pause_s=self._pause_s,
             failovers=self._failovers,
             hedged=hedged,
             hedge_won=hedge_won,
             payload=payload,
+            service_s=seconds,
+            hedge_wait_s=(
+                self.job.hedge_delay
+                if hedge_won and self.job.hedge_delay is not None
+                else 0.0
+            ),
+            hedge_saved_s=hedge_saved,
         )
 
 
@@ -262,6 +377,9 @@ def run_scatter(
     jobs: Sequence[ShardJob],
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    dtrace: Optional[TraceCollector] = None,
+    shard_ctxs: Optional[Dict[int, QueryTraceContext]] = None,
+    base_s: float = 0.0,
 ) -> ScatterResult:
     """Execute one scatter round; returns shard-ordered outcomes.
 
@@ -271,6 +389,13 @@ def run_scatter(
     Completion events are scheduled before hedge timers, so a primary
     finishing exactly at the hedge deadline wins the FIFO tie and no
     hedge launches — deterministic either way.
+
+    ``dtrace`` + ``shard_ctxs`` (shard -> parent span context) record
+    each leg's attempts — winners, cancelled hedge losers, failover
+    detection, breaker rejections — as child spans of the query's
+    per-shard spans, re-anchored onto the query's wall clock at
+    ``base_s``.  Recording never touches the event heap, so outcomes
+    are bit-identical with or without it.
     """
     if not jobs:
         raise ClusterError("scatter needs at least one shard job")
@@ -283,7 +408,13 @@ def run_scatter(
             if tracer is not None
             else None
         )
-        leg = _ShardLeg(job, sim, metrics, track, tracer)
+        shard_ctx = (
+            shard_ctxs.get(job.shard) if shard_ctxs is not None else None
+        )
+        leg = _ShardLeg(
+            job, sim, metrics, track, tracer,
+            dtrace=dtrace, shard_ctx=shard_ctx, base_s=base_s,
+        )
         legs.append(leg)
     # launch in shard order so seq-based ties resolve by shard id
     for leg in legs:

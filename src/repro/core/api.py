@@ -74,6 +74,15 @@ class QueryResult:
         """Query latency plus the result DMA."""
         return self.latency.total_seconds + self.transfer_seconds
 
+    def span_args(self) -> Dict[str, object]:
+        """Small args dict for a distributed-trace leaf span."""
+        return {
+            "query_id": self.query_id,
+            "k": self.k,
+            "cache_hit": self.cache_hit,
+            "seconds_to_host": self.seconds_to_host,
+        }
+
 
 class DeepStoreDevice:
     """A DeepStore-enabled SSD, functional + timed."""

@@ -23,8 +23,30 @@ much of it passed.  This package is that layer:
   fraction utilization timelines, and a busiest-resource / idle-gap
   profile.  ``python -m repro trace`` and ``python -m repro profile``
   are the CLI front ends.
+* :class:`TraceCollector` + :class:`CriticalPath` — distributed query
+  tracing (one causal span tree per query, scatter attempts and hedge
+  losers included, Chrome-flow export) and bit-exact critical-path
+  attribution with :class:`FleetAttribution` tail analysis.
+  ``python -m repro explain`` is the CLI front end.
+* :class:`SloMonitor` — windowed SLO gauges over the DES timeline with
+  declarative :class:`BurnRateRule` alerting; ``python -m repro slo``
+  runs it over a chaos day and reports alert latency.
 """
 
+from repro.obs.dtrace import (
+    CriticalPath,
+    FleetAttribution,
+    QuerySpan,
+    QueryTraceContext,
+    Segment,
+    TraceCollector,
+    cache_hit_critical_path,
+    cluster_critical_path,
+    device_critical_path,
+    dtrace_chrome,
+    recovery_critical_path,
+    write_dtrace,
+)
 from repro.obs.export import (
     LatencyBreakdown,
     ResourceUsage,
@@ -39,7 +61,15 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    TimeSeries,
     percentile,
+)
+from repro.obs.slo import (
+    Alert,
+    BurnRateRule,
+    SloMonitor,
+    SloSpec,
+    default_chaos_monitor,
 )
 from repro.obs.tracer import NULL_TRACER, Instant, NullTracer, Span, Tracer, TrackHandle
 
@@ -54,6 +84,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "TimeSeries",
     "percentile",
     "chrome_trace",
     "write_chrome_trace",
@@ -62,4 +93,21 @@ __all__ = [
     "utilization_timelines",
     "profile_resources",
     "ResourceUsage",
+    "QueryTraceContext",
+    "QuerySpan",
+    "TraceCollector",
+    "dtrace_chrome",
+    "write_dtrace",
+    "Segment",
+    "CriticalPath",
+    "cluster_critical_path",
+    "device_critical_path",
+    "cache_hit_critical_path",
+    "recovery_critical_path",
+    "FleetAttribution",
+    "SloSpec",
+    "BurnRateRule",
+    "Alert",
+    "SloMonitor",
+    "default_chaos_monitor",
 ]

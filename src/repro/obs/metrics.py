@@ -172,6 +172,67 @@ class Histogram:
         }
 
 
+class TimeSeries:
+    """A gauge sampled over simulated time with windowed queries.
+
+    Samples are ``(time, value)`` pairs appended in nondecreasing time
+    order (the DES timeline only moves forward).  :meth:`window` answers
+    "what did this gauge read over the last ``window_s`` seconds as of
+    ``at_s``" — the primitive the SLO burn-rate rules evaluate.  The
+    window is **half-open** ``(at_s - window_s, at_s]``: a sample landing
+    exactly on the trailing edge belongs to the *previous* window, one on
+    the leading edge to this one, so adjacent windows never double-count
+    a boundary sample.
+    """
+
+    __slots__ = ("name", "window_s", "samples")
+
+    def __init__(self, name: str, window_s: float):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.name = name
+        self.window_s = window_s
+        self.samples: List[Tuple[float, float]] = []
+
+    def sample(self, time_s: float, value: float) -> None:
+        """Append one ``(time, value)`` sample; times must not regress."""
+        if self.samples and time_s < self.samples[-1][0]:
+            raise ValueError(
+                f"timeseries {self.name!r}: sample time {time_s} regresses "
+                f"behind {self.samples[-1][0]}"
+            )
+        self.samples.append((time_s, value))
+
+    def window(self, at_s: float) -> List[float]:
+        """Values sampled in the half-open window ``(at_s - window_s, at_s]``."""
+        lo = at_s - self.window_s
+        return [v for t, v in self.samples if lo < t <= at_s]
+
+    def last(self) -> Optional[float]:
+        """Most recent sampled value (None when empty)."""
+        return self.samples[-1][1] if self.samples else None
+
+    def window_stats(self, at_s: float) -> Dict[str, float]:
+        """count/mean/min/max over one window (all 0.0 when empty)."""
+        values = self.window(at_s)
+        if not values:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """Summary snapshot for reports and JSON."""
+        return {
+            "window_s": self.window_s,
+            "samples": len(self.samples),
+            "last": self.last(),
+        }
+
+
 class MetricsRegistry:
     """Get-or-create home for named instruments.
 
@@ -217,6 +278,24 @@ class MetricsRegistry:
             return self._get_or_create(name, Histogram, bounds)
         return self._get_or_create(name, Histogram)
 
+    def timeseries(
+        self, name: str, window_s: Optional[float] = None
+    ) -> TimeSeries:
+        """Get or create the :class:`TimeSeries` named ``name``.
+
+        ``window_s`` is required on first creation (it defines the
+        instrument); later callers may omit it and share the series
+        as-is.
+        """
+        existing = self._metrics.get(name)
+        if existing is None:
+            if window_s is None:
+                raise ValueError(
+                    f"timeseries {name!r} needs window_s at creation"
+                )
+            return self._get_or_create(name, TimeSeries, window_s)
+        return self._get_or_create(name, TimeSeries)
+
     def names(self) -> List[str]:
         """Sorted names of every registered instrument."""
         return sorted(self._metrics)
@@ -237,6 +316,8 @@ class MetricsRegistry:
                 out[name] = metric.value
             elif isinstance(metric, Gauge):
                 out[name] = {"value": metric.value, "peak": metric.peak}
+            elif isinstance(metric, TimeSeries):
+                out[name] = metric.as_dict()
             else:
                 assert isinstance(metric, Histogram)
                 out[name] = metric.as_dict()

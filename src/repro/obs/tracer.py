@@ -51,6 +51,11 @@ class Span:
     duration: float
     track: TrackHandle
     args: Optional[Dict[str, object]] = None
+    #: Chrome phase to export as: ``"X"`` (one complete event) or
+    #: ``"BE"`` (a begin/end pair).  ``"BE"`` marks spans whose true end
+    #: was only learned later — e.g. a hedge loser cancelled mid-flight —
+    #: so viewers see the actual occupancy, not the planned one.
+    emit: str = "X"
 
     @property
     def end(self) -> float:
@@ -79,6 +84,12 @@ class Tracer:
         self._pids: Dict[str, int] = {}
         self._tids: Dict[Tuple[int, str], int] = {}
         self._next_tid: Dict[int, int] = {}
+        #: token -> (track, name, start, cat, args) for spans opened with
+        #: :meth:`begin` and not yet closed by :meth:`end`
+        self._open: Dict[
+            int, Tuple[TrackHandle, str, float, str, Optional[Dict[str, object]]]
+        ] = {}
+        self._next_token = 0
 
     @property
     def enabled(self) -> bool:
@@ -145,6 +156,43 @@ class Tracer:
         """Record one zero-duration marker."""
         self.instants.append(Instant(name, cat, time, track, args))
 
+    def begin(
+        self,
+        track: TrackHandle,
+        name: str,
+        start: float,
+        cat: str = "",
+        args: Optional[Dict[str, object]] = None,
+    ) -> int:
+        """Open a span whose end is not yet known; returns a token.
+
+        Used for occupancies that may be cut short (a hedge loser's
+        in-flight work, cancelled when the winner lands).  The span only
+        materialises — as an emit-``"BE"`` :class:`Span` — when
+        :meth:`end` closes the token, so every begin must be balanced.
+        """
+        token = self._next_token
+        self._next_token += 1
+        self._open[token] = (track, name, start, cat, args)
+        return token
+
+    def end(
+        self,
+        token: int,
+        time: float,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Close a :meth:`begin` token at ``time`` (extra args merged)."""
+        track, name, start, cat, begin_args = self._open.pop(token)
+        if args:
+            merged = dict(begin_args) if begin_args else {}
+            merged.update(args)
+            begin_args = merged
+        self.spans.append(
+            Span(name, cat, start, max(0.0, time - start), track,
+                 begin_args, emit="BE")
+        )
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -152,6 +200,11 @@ class Tracer:
     def span_count(self) -> int:
         """Number of complete spans recorded so far."""
         return len(self.spans)
+
+    @property
+    def open_spans(self) -> int:
+        """Begun-but-unclosed spans (0 in a balanced trace)."""
+        return len(self._open)
 
     def count(self, cat: str) -> int:
         """Records (spans + instants) in one category."""
@@ -199,8 +252,20 @@ class NullTracer:
         """No-op instant record."""
         pass
 
+    def begin(self, *args, **kwargs) -> int:
+        """No-op open; the returned token closes nothing."""
+        return 0
+
+    def end(self, *args, **kwargs) -> None:
+        """No-op close."""
+        pass
+
     @property
     def span_count(self) -> int:
+        return 0
+
+    @property
+    def open_spans(self) -> int:
         return 0
 
     def count(self, cat: str) -> int:

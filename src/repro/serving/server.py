@@ -30,7 +30,7 @@ the result is bit-identical across runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,7 +38,15 @@ import numpy as np
 from repro.core.deepstore import DeepStoreSystem
 from repro.core.engine import DispatchPolicy
 from repro.core.query_cache import EmbeddingComparator, QueryCache
+from repro.obs.dtrace import (
+    CriticalPath,
+    QueryTraceContext,
+    Segment,
+    TraceCollector,
+    cache_hit_critical_path,
+)
 from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.slo import SloMonitor
 from repro.obs.tracer import Tracer
 from repro.serving.admission import AdmissionQueue, QueuedQuery
 from repro.serving.arrivals import INGEST_COMPAT, ArrivalEvent, offered_qps_of
@@ -138,6 +146,9 @@ class ServingResult:
     ingest_arrived: int = 0
     ingest_completed: int = 0
     ingest_mean_latency_s: float = 0.0
+    #: per-query critical paths, populated only when the run carried a
+    #: :class:`~repro.obs.TraceCollector` (also not in :meth:`as_dict`)
+    critical_paths: List[CriticalPath] = field(default_factory=list)
 
     @property
     def shed(self) -> int:
@@ -275,12 +286,23 @@ class QueryServer:
         self,
         arrivals: Sequence[ArrivalEvent],
         tracer: Optional[Tracer] = None,
+        dtrace: Optional[TraceCollector] = None,
+        slo: Optional[SloMonitor] = None,
     ) -> ServingResult:
         """Play an arrival schedule to completion; return the measures.
 
         ``tracer`` overrides the server's tracer for this run (each run
         restarts simulated time at zero, so timelines from separate
         runs should not share one tracer).
+
+        ``dtrace`` mints one trace per arrival and propagates it
+        through cache lookup, admission, batch formation, and backend
+        service; sheds close the trace with ``shed_<reason>`` status.
+        ``slo`` receives one event per completion (class ``read`` or
+        ``ingest``, with latency) and one bad event per shed.  Both are
+        pure bookkeeping: simulated timings and every
+        :class:`ServingResult` figure are identical with them on or
+        off.
         """
         if not arrivals:
             raise ValueError("empty arrival schedule")
@@ -325,6 +347,14 @@ class QueryServer:
 
         state = _RunState()
 
+        #: qid -> open root span / open admission-wait span (dtrace only)
+        roots: Dict[int, QueryTraceContext] = {}
+        admissions: Dict[int, QueryTraceContext] = {}
+        critical_paths: List[CriticalPath] = []
+
+        def slo_class(query: QueuedQuery) -> str:
+            return "ingest" if query.compat == INGEST_COMPAT else "read"
+
         def note_depth() -> None:
             depth = queue.depth
             if depth > state.queue_peak:
@@ -347,11 +377,46 @@ class QueryServer:
                         shed_track, reason, sim.now,
                         cat="serving.shed", args={"qid": query.qid},
                     )
+                if slo is not None:
+                    slo.record(slo_class(query), sim.now, good=False)
+                if dtrace is not None:
+                    status = f"shed_{reason}"
+                    ctx = admissions.pop(query.qid, None)
+                    if ctx is not None:
+                        dtrace.end_span(ctx, sim.now, status=status)
+                    root = roots.pop(query.qid, None)
+                    if root is not None:
+                        dtrace.end_span(root, sim.now, status=status)
 
-        def complete_query(query: QueuedQuery, now: float) -> None:
+        def complete_query(
+            query: QueuedQuery,
+            now: float,
+            batch_start: Optional[float] = None,
+            service: float = 0.0,
+        ) -> None:
             latency = now - query.arrival_s + query.penalty_s
             state.completed += 1
             state.last_completion = max(state.last_completion, now)
+            if slo is not None:
+                slo.record(slo_class(query), now, latency_s=latency)
+            if dtrace is not None:
+                root = roots.pop(query.qid, None)
+                if root is not None:
+                    dtrace.end_span(root, now, latency_s=latency)
+                if batch_start is not None:
+                    # the queued path subtracts the arrival time, so the
+                    # decomposition is honest but not bit-exact
+                    critical_paths.append(CriticalPath(
+                        total_seconds=latency,
+                        groups=[[
+                            Segment("admission wait (incl. lookup)",
+                                    "admission",
+                                    batch_start - query.arrival_s),
+                            Segment("batch service", "service", service),
+                        ]],
+                        info={"qid": query.qid, "class": slo_class(query)},
+                        exact=False,
+                    ))
             if query.compat == INGEST_COMPAT:
                 # write class: tracked apart so read latency stays pure
                 ingest_latencies.append(latency)
@@ -410,12 +475,37 @@ class QueryServer:
                         cat="serving.batch",
                         args={"n": len(batch)},
                     )
+                if dtrace is not None:
+                    # one batch-service span per member, linked from its
+                    # admission wait by a flow arrow — the viewer sees
+                    # the queries converge onto one backend slice
+                    for query in batch:
+                        root = roots.get(query.qid)
+                        if root is None:
+                            continue
+                        bctx = dtrace.add_span(
+                            root, f"batch x{len(batch)} service",
+                            start, start + service,
+                            kind="serving.batch",
+                            track=f"serving/server {server}",
+                            n=len(batch),
+                        )
+                        actx = admissions.pop(query.qid, None)
+                        if actx is not None:
+                            dtrace.end_span(actx, start)
+                            dtrace.flow(actx, bctx)
 
                 def finish(
-                    server: int = server, batch: List[QueuedQuery] = batch
+                    server: int = server,
+                    batch: List[QueuedQuery] = batch,
+                    start: float = start,
+                    service: float = service,
                 ) -> None:
                     for query in batch:
-                        complete_query(query, sim.now)
+                        complete_query(
+                            query, sim.now,
+                            batch_start=start, service=service,
+                        )
                     idle.append(server)
                     idle.sort()
                     dispatch()
@@ -433,6 +523,13 @@ class QueryServer:
                 qfv=event.qfv,
             )
             admitted = queue.offer(query, sim.now)
+            if admitted and dtrace is not None:
+                root = roots.get(qid)
+                if root is not None:
+                    admissions[qid] = dtrace.start_span(
+                        root, "admission wait", sim.now,
+                        kind="serving.admission", track="serving",
+                    )
             note_shed()
             note_depth()
             if admitted:
@@ -443,6 +540,16 @@ class QueryServer:
         def arrive(event: ArrivalEvent, qid: int) -> None:
             if metrics is not None:
                 metrics.counter("serving.arrived").inc()
+            if dtrace is not None:
+                kind = (
+                    "serving.ingest" if event.kind == "ingest"
+                    else "serving.query"
+                )
+                roots[qid] = dtrace.start_trace(
+                    f"{event.kind} {qid}", sim.now, kind=kind,
+                    track="serving", app=self.app.name,
+                    priority=event.priority,
+                )
             if event.kind == "ingest":
                 # write class: never consults the query cache
                 state.ingest_arrived += 1
@@ -455,6 +562,14 @@ class QueryServer:
                 lookup_s = (
                     lookup.entries_scanned * self.lookup_seconds_per_entry
                 )
+                if dtrace is not None:
+                    dtrace.add_span(
+                        roots[qid], "cache lookup",
+                        sim.now, sim.now + lookup_s,
+                        kind="serving.cache", track="serving",
+                        hit=lookup.hit,
+                        entries=lookup.entries_scanned,
+                    )
                 if lookup.hit:
                     # Algorithm-1 fast path: re-rank the cached top-K,
                     # never touching the admission queue or a backend
@@ -472,6 +587,21 @@ class QueryServer:
                             metrics.histogram(
                                 "serving.latency_s"
                             ).observe(latency)
+                        if slo is not None:
+                            slo.record("read", sim.now, latency_s=latency)
+                        if dtrace is not None:
+                            root = roots.pop(qid, None)
+                            if root is not None:
+                                dtrace.end_span(
+                                    root, sim.now,
+                                    cache_hit=True, latency_s=latency,
+                                )
+                            path = cache_hit_critical_path(
+                                lookup_s, self.hit_seconds
+                            )
+                            path.info["qid"] = qid
+                            path.info["class"] = "read"
+                            critical_paths.append(path)
 
                     sim.schedule_after(
                         lookup_s + self.hit_seconds, hit_done,
@@ -494,6 +624,8 @@ class QueryServer:
                 label="arrival",
             )
         sim.run()
+        if slo is not None:
+            slo.finish(state.last_completion)
 
         first_arrival = arrivals[0].time_s
         span = max(state.last_completion - first_arrival, 0.0)
@@ -535,4 +667,5 @@ class QueryServer:
                 if ingest_latencies
                 else 0.0
             ),
+            critical_paths=critical_paths,
         )

@@ -421,3 +421,95 @@ class TestChaosCommand:
     def test_bad_config_fails_cleanly(self, capsys):
         assert main(["chaos", "--duration", "0"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    SMALL = ["explain", "--features", "600", "--queries", "4"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.query_id == 0
+        assert args.app == "tir"
+        assert args.shards == 3
+        assert args.replicas == 2
+        assert args.hedge == 0.3
+        assert args.fail_shards == "1:0"
+        assert not args.json
+
+    def test_human_output_is_bit_exact(self, capsys):
+        assert main(self.SMALL + ["2"]) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end" in out
+        assert "bit-exact" in out
+        assert "NOT bit-exact" not in out
+        assert "fleet p99 dominant segment" in out
+
+    def test_json_schema(self, capsys):
+        import json
+
+        assert main(self.SMALL + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "query_id", "seconds", "bit_exact", "critical_path",
+            "fleet", "trace",
+        }
+        assert payload["bit_exact"] is True
+        segments = payload["critical_path"]["segments"]
+        assert segments and all(
+            set(s) == {"name", "kind", "seconds"} for s in segments
+        )
+        assert payload["fleet"]["exact_fraction"] == 1.0
+        assert payload["trace"]["traces"] == 4
+        assert payload["trace"]["spans"] > 0
+
+    def test_query_id_out_of_range(self, capsys):
+        assert main(self.SMALL + ["99"]) == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_out_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "dtrace.json"
+        assert main(self.SMALL + ["--out", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "s" for e in events)
+
+
+class TestSloCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["slo"])
+        assert args.seed == 0
+        assert args.duration == 1.0
+        assert args.kills == 4
+        assert args.queries == 24
+        assert not args.scorecard
+
+    def test_human_output_detects_the_chaos_day(self, capsys):
+        assert main(["slo"]) == 0
+        out = capsys.readouterr().out
+        assert "availability: target" in out
+        assert "alerts fired:" in out
+        # the kill storm must be *detected*, not just survived
+        assert "detection in" in out
+
+    def test_scorecard_schema_and_determinism(self, capsys):
+        import json
+
+        assert main(["slo", "--scorecard"]) == 0
+        first = capsys.readouterr().out
+        payload = json.loads(first)
+        assert set(payload) == {
+            "seed", "duration_s", "availability", "served", "queries",
+            "first_fault_s", "first_alert_s", "alert_latency_s", "slo",
+        }
+        assert payload["alert_latency_s"] is not None
+        assert payload["alert_latency_s"] >= 0.0
+        assert set(payload["slo"]["slos"]) == {"availability", "latency"}
+        assert main(["slo", "--scorecard"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_config_fails_cleanly(self, capsys):
+        assert main(["slo", "--duration", "0"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,366 @@
+"""Tests for distributed query tracing and critical-path attribution.
+
+Covers the collector (span trees, balance, flows), the Chrome export
+(``X`` spans, ``B``/``E`` pairs for open-ended spans, ``s``/``f`` flow
+arrows, cancellation markers), the cancelled-hedge-loser regression,
+and the bit-exact critical-path builders for every query shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    DeepStoreCluster,
+    ReplicaAttempt,
+    RetryPolicy,
+    ShardJob,
+    run_scatter,
+)
+from repro.obs import (
+    FleetAttribution,
+    TraceCollector,
+    Tracer,
+    cache_hit_critical_path,
+    chrome_trace,
+    cluster_critical_path,
+    device_critical_path,
+    dtrace_chrome,
+    recovery_critical_path,
+)
+from repro.obs.dtrace import Segment
+from repro.workloads import get_app
+
+
+# ----------------------------------------------------------------------
+# collector
+# ----------------------------------------------------------------------
+class TestTraceCollector:
+    def test_span_tree(self):
+        dt = TraceCollector()
+        root = dt.start_trace("query 0", 0.0, kind="q", track="t")
+        child = dt.start_span(root, "leg", 0.1, kind="leg", track="t")
+        dt.end_span(child, 0.5)
+        dt.end_span(root, 0.6, status="ok")
+        assert dt.open_count == 0
+        assert dt.span_count == 2
+        assert dt.trace_ids() == [root.trace_id]
+        spans = dt.spans_of(root.trace_id)
+        assert {s.name for s in spans} == {"query 0", "leg"}
+        assert dt.root(root.trace_id).name == "query 0"
+        kids = dt.children(root.span_id)
+        assert [k.name for k in kids] == ["leg"]
+        assert kids[0].parent_span_id == root.span_id
+
+    def test_add_span_one_shot(self):
+        dt = TraceCollector()
+        root = dt.start_trace("q", 0.0, kind="q", track="t")
+        ctx = dt.add_span(root, "device", 0.1, 0.2, kind="dev",
+                          track="device", pages=7)
+        span = dt.spans[-1]
+        assert span.span_id == ctx.span_id
+        assert span.duration_s == pytest.approx(0.1)
+        assert span.args["pages"] == 7
+        assert dt.open_count == 1  # only the root is still open
+
+    def test_end_span_merges_args_and_status(self):
+        dt = TraceCollector()
+        root = dt.start_trace("q", 0.0, kind="q", track="t", k=5)
+        dt.end_span(root, 1.0, status="partial", latency_s=1.0)
+        (span,) = dt.spans
+        assert span.status == "partial"
+        assert span.args["k"] == 5
+        assert span.args["latency_s"] == 1.0
+
+    def test_flow_arrows(self):
+        dt = TraceCollector()
+        root = dt.start_trace("q", 0.0, kind="q", track="t")
+        leg = dt.start_span(root, "leg", 0.0, kind="leg", track="u")
+        dt.flow(root, leg)
+        dt.end_span(leg, 1.0)
+        dt.end_span(root, 1.0)
+        assert dt.flows == [(root.span_id, leg.span_id)]
+
+
+# ----------------------------------------------------------------------
+# Chrome export
+# ----------------------------------------------------------------------
+class TestDtraceChrome:
+    def _forest(self):
+        dt = TraceCollector()
+        root = dt.start_trace("q", 0.0, kind="q", track="serving")
+        leg = dt.start_span(root, "leg", 0.1, kind="leg", track="shard")
+        dt.flow(root, leg)
+        dt.end_span(leg, 0.4, status="cancelled")
+        dt.end_span(root, 0.5)
+        return dt
+
+    def test_events_and_metadata(self):
+        trace = dtrace_chrome(self._forest())
+        events = trace["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2
+        # one pid per track, named via metadata
+        names = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert {"serving", "shard"} <= names
+        pids = {e["pid"] for e in xs}
+        assert len(pids) == 2
+
+    def test_microsecond_timestamps(self):
+        events = dtrace_chrome(self._forest())["traceEvents"]
+        leg = next(e for e in events if e["ph"] == "X"
+                   and e["name"] == "leg")
+        assert leg["ts"] == pytest.approx(0.1 * 1e6)
+        assert leg["dur"] == pytest.approx(0.3 * 1e6)
+
+    def test_flow_pair(self):
+        events = dtrace_chrome(self._forest())["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        assert finishes[0]["bp"] == "e"
+
+    def test_non_ok_status_gets_marker(self):
+        events = dtrace_chrome(self._forest())["traceEvents"]
+        markers = [e for e in events if e["ph"] == "i"]
+        assert any(m["name"] == "leg:cancelled" for m in markers)
+
+    def test_unclosed_flow_endpoint_dropped(self):
+        dt = TraceCollector()
+        root = dt.start_trace("q", 0.0, kind="q", track="t")
+        leg = dt.start_span(root, "leg", 0.0, kind="leg", track="t")
+        dt.flow(root, leg)
+        dt.end_span(root, 1.0)  # leg never closed
+        events = dtrace_chrome(dt)["traceEvents"]
+        assert not [e for e in events if e["ph"] in ("s", "f")]
+
+    def test_device_tracer_merges_with_offset_pids(self):
+        tracer = Tracer()
+        lane = tracer.track("ch0", "chip0")
+        tracer.complete(lane, "page read", 0.0, 1e-5, cat="flash")
+        trace = dtrace_chrome(self._forest(), tracer=tracer)
+        events = trace["traceEvents"]
+        assert any(e.get("name") == "page read" for e in events)
+        collector_pids = {
+            e["pid"] for e in events
+            if e["ph"] == "X" and e["name"] in ("q", "leg")
+        }
+        tracer_pids = {
+            e["pid"] for e in events
+            if e["ph"] == "X" and e["name"] == "page read"
+        }
+        assert max(collector_pids) < min(tracer_pids)
+
+
+# ----------------------------------------------------------------------
+# cancelled hedge losers (regression: open-ended spans must terminate)
+# ----------------------------------------------------------------------
+def _hedged_job(shard=0, primary_s=1.0, backup_s=0.1, hedge_delay=0.2):
+    attempts = tuple(
+        ReplicaAttempt(
+            replica=r, alive=True,
+            run=(lambda s=secs, sh=shard, rr=r: (s, (sh, rr))),
+        )
+        for r, secs in enumerate((primary_s, backup_s))
+    )
+    return ShardJob(shard=shard, attempts=attempts, hedge_delay=hedge_delay)
+
+
+class TestCancelledHedgeLoser:
+    def test_loser_span_ends_at_cancellation(self):
+        tracer = Tracer()
+        result = run_scatter([_hedged_job()], tracer=tracer)
+        (outcome,) = result.outcomes
+        assert outcome.hedged and outcome.hedge_won
+        # the loser (primary, replica 0) planned to run 1.0 s but was
+        # cancelled when the backup finished at 0.2 + 0.1 = 0.3 s
+        loser = next(
+            s for s in tracer.spans
+            if s.name == "replica 0" and s.args.get("cancelled")
+        )
+        assert loser.emit == "BE"
+        assert loser.start + loser.duration == pytest.approx(0.3)
+        assert loser.duration < 1.0  # NOT its planned completion
+        cancels = [i for i in tracer.instants if i.cat == "cluster.cancel"]
+        assert len(cancels) == 1
+        assert cancels[0].time == pytest.approx(0.3)
+        assert tracer.open_spans == 0  # every begin() was ended
+
+    def test_loser_emits_terminating_be_pair_in_chrome(self):
+        tracer = Tracer()
+        run_scatter([_hedged_job()], tracer=tracer)
+        events = chrome_trace(tracer)["traceEvents"]
+        begins = [e for e in events if e["ph"] == "B"
+                  and e["name"] == "replica 0"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(begins) == 1 and len(ends) >= 1
+        # B at launch (t=0), E at cancellation (0.3 s), balanced
+        assert begins[0]["ts"] == pytest.approx(0.0)
+        end = min(ends, key=lambda e: abs(e["ts"] - 0.3e6))
+        assert end["ts"] == pytest.approx(0.3e6)
+        assert any(e["ph"] == "i" and "cancel" in e["name"]
+                   for e in events)
+
+    def test_winner_span_closes_at_completion(self):
+        tracer = Tracer()
+        run_scatter([_hedged_job()], tracer=tracer)
+        winner = next(
+            s for s in tracer.spans
+            if s.name == "replica 1" and not s.args.get("cancelled")
+        )
+        assert winner.start == pytest.approx(0.2)
+        assert winner.duration == pytest.approx(0.1)
+
+    def test_dtrace_records_loser_with_cancelled_status(self):
+        dt = TraceCollector()
+        ctx = dt.start_trace("q", 0.0, kind="q", track="t")
+        shard_ctx = dt.start_span(ctx, "shard 0 leg", 0.0,
+                                  kind="leg", track="t")
+        run_scatter([_hedged_job()], dtrace=dt,
+                    shard_ctxs={0: shard_ctx}, base_s=0.0)
+        loser = next(s for s in dt.spans if s.status == "cancelled")
+        assert loser.name == "attempt r0 (hedge loser)"
+        assert loser.end_s == pytest.approx(0.3)
+
+
+# ----------------------------------------------------------------------
+# critical paths
+# ----------------------------------------------------------------------
+def _small_cluster(**kw):
+    app = get_app("reid")
+    kw.setdefault("n_shards", 3)
+    kw.setdefault("n_replicas", 2)
+    kw.setdefault("seed", 0)
+    config = ClusterConfig(**kw)
+    rng = np.random.default_rng(0)
+    features = rng.normal(0, 1, (240, app.feature_floats)).astype(np.float32)
+    cluster = DeepStoreCluster(config)
+    db = cluster.write_db(features)
+    model = cluster.load_graph(app.build_scn(seed=0))
+    return cluster, db, model, app, rng
+
+
+class TestClusterCriticalPath:
+    def test_bit_exact_on_healthy_cluster(self):
+        cluster, db, model, app, rng = _small_cluster()
+        qfv = rng.normal(0, 1, app.feature_floats).astype(np.float32)
+        result = cluster.query(qfv, 5, model, db)
+        path = cluster_critical_path(result)
+        assert path.exact
+        assert path.component_sum() == result.seconds  # IEEE-754 ==
+        kinds = [s.kind for s in path.segments]
+        assert kinds[0] == "fanout" and kinds[-1] == "gather"
+
+    def test_bit_exact_under_hedging_retries_and_death(self):
+        cluster, db, model, app, rng = _small_cluster(
+            hedge_fraction=0.3,
+            straggler_spread=0.5,
+            fail_shards=((1, 0),),
+            retry_policy=RetryPolicy(),
+        )
+        for _ in range(8):
+            qfv = rng.normal(0, 1, app.feature_floats).astype(np.float32)
+            result = cluster.query(qfv, 5, model, db)
+            path = cluster_critical_path(result)
+            assert path.component_sum() == result.seconds
+
+    def test_traced_query_matches_untraced(self):
+        kw = dict(hedge_fraction=0.3, straggler_spread=0.5,
+                  fail_shards=((1, 0),), retry_policy=RetryPolicy())
+        cluster, db, model, app, rng = _small_cluster(**kw)
+        twin, tdb, tmodel, _, trng = _small_cluster(**kw)
+        dt = TraceCollector()
+        for _ in range(4):
+            qfv = rng.normal(0, 1, app.feature_floats).astype(np.float32)
+            tq = trng.normal(0, 1, app.feature_floats).astype(np.float32)
+            assert np.array_equal(qfv, tq)
+            a = cluster.query(qfv, 5, model, db, dtrace=dt)
+            b = twin.query(tq, 5, tmodel, tdb)
+            assert a.to_dict() == b.to_dict()  # tracing is zero-cost
+        assert dt.open_count == 0
+        assert len(dt.trace_ids()) == 4
+
+    def test_trace_exports_device_leaf_spans(self):
+        cluster, db, model, app, rng = _small_cluster()
+        dt = TraceCollector()
+        qfv = rng.normal(0, 1, app.feature_floats).astype(np.float32)
+        cluster.query(qfv, 5, model, db, dtrace=dt)
+        kinds = {s.kind for s in dt.spans}
+        assert "device.query" in kinds
+        assert "cluster.scatter" in kinds
+        assert "cluster.gather" in kinds
+
+
+class TestOtherCriticalPaths:
+    def test_device_path_bit_exact(self):
+        from repro.core.event_query import EventQuerySimulator
+        from repro.ssd import Ssd
+
+        app = get_app("tir")
+        meta = Ssd().ftl.create_database(app.feature_bytes, 40_000)
+        result = EventQuerySimulator().run(app, meta)
+        path = device_critical_path(result)
+        assert path.component_sum() == result.total_seconds
+        assert path.info["pages"] == result.pages
+
+    def test_cache_hit_path(self):
+        path = cache_hit_critical_path(0.1, 0.2)
+        assert path.bit_exact
+        assert [s.kind for s in path.segments] == ["lookup", "scan"]
+
+    def test_recovery_path_bit_exact(self):
+        from repro.recovery.durable import DurableStore, recover
+
+        rng = np.random.default_rng(2)
+        store = DurableStore(
+            rng.standard_normal((32, 8)).astype(np.float32)
+        )
+        for _ in range(6):
+            store.insert(rng.standard_normal((2, 8)).astype(np.float32))
+        _, report = recover(store.crash_image())
+        path = recovery_critical_path(report)
+        assert path.component_sum() == report.seconds
+        assert path.info["records_replayed"] == report.records_replayed
+
+
+# ----------------------------------------------------------------------
+# fleet aggregation
+# ----------------------------------------------------------------------
+class TestFleetAttribution:
+    def _path(self, total, kind="scan"):
+        from repro.obs.dtrace import CriticalPath
+
+        return CriticalPath(
+            total_seconds=total,
+            groups=[[Segment("x", kind, total)]],
+            exact=True,
+        )
+
+    def test_dominant_at_tail(self):
+        fleet = FleetAttribution()
+        for t in (0.1, 0.2, 0.3, 0.4):
+            fleet.add(self._path(t, kind="scan"))
+        fleet.add(self._path(9.0, kind="detect"))
+        verdict = fleet.dominant_at(80.0)
+        assert verdict["dominant"] == "detect"
+        # nearest-rank p80 cut keeps the 0.4 s query in the tail too
+        assert verdict["queries"] == 2
+        assert verdict["share"] == pytest.approx(9.0 / 9.4)
+
+    def test_exact_fraction(self):
+        fleet = FleetAttribution()
+        fleet.add(self._path(1.0))
+        bad = self._path(1.0)
+        bad.total_seconds = 2.0  # breaks the bit-exact sum
+        fleet.add(bad)
+        assert fleet.exact_fraction == pytest.approx(0.5)
+
+    def test_empty_fleet(self):
+        fleet = FleetAttribution()
+        assert fleet.queries == 0
+        verdict = fleet.dominant_at(99.0)
+        assert verdict["queries"] == 0

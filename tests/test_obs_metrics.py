@@ -193,3 +193,82 @@ class TestReliabilityCountersOnRegistry:
         counts.page_reads = 4
         counts.pages_with_retry = 1
         assert counts.observed_retry_rate == 0.25
+
+
+class TestTimeSeries:
+    def test_samples_and_last(self):
+        from repro.obs.metrics import TimeSeries
+
+        ts = TimeSeries("qps", window_s=1.0)
+        assert ts.last() is None
+        ts.sample(0.5, 10.0)
+        ts.sample(1.5, 20.0)
+        assert ts.last() == 20.0
+        assert ts.samples == [(0.5, 10.0), (1.5, 20.0)]
+
+    def test_window_is_half_open(self):
+        from repro.obs.metrics import TimeSeries
+
+        ts = TimeSeries("g", window_s=1.0)
+        for t, v in ((0.5, 1.0), (1.5, 2.0), (2.5, 3.0)):
+            ts.sample(t, v)
+        # (0.5, 1.5]: the trailing-edge sample at exactly 0.5 is OUT,
+        # the leading-edge sample at exactly 1.5 is IN
+        assert ts.window(1.5) == [2.0]
+        # adjacent windows never double-count the boundary sample
+        assert ts.window(0.5) == [1.0]
+
+    def test_empty_window_stats(self):
+        from repro.obs.metrics import TimeSeries
+
+        ts = TimeSeries("g", window_s=0.1)
+        assert ts.window(5.0) == []
+        assert ts.window_stats(5.0) == {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0
+        }
+        ts.sample(1.0, 7.0)
+        assert ts.window_stats(9.0)["count"] == 0  # sample aged out
+
+    def test_window_stats(self):
+        from repro.obs.metrics import TimeSeries
+
+        ts = TimeSeries("g", window_s=1.0)
+        for t, v in ((0.2, 1.0), (0.6, 3.0), (0.9, 2.0)):
+            ts.sample(t, v)
+        stats = ts.window_stats(1.0)
+        assert stats == {"count": 3, "mean": 2.0, "min": 1.0, "max": 3.0}
+
+    def test_time_must_not_regress(self):
+        from repro.obs.metrics import TimeSeries
+
+        ts = TimeSeries("g", window_s=1.0)
+        ts.sample(1.0, 1.0)
+        ts.sample(1.0, 2.0)  # equal times fine (FIFO same-time events)
+        with pytest.raises(ValueError):
+            ts.sample(0.5, 3.0)
+
+    def test_window_must_be_positive(self):
+        from repro.obs.metrics import TimeSeries
+
+        with pytest.raises(ValueError):
+            TimeSeries("g", window_s=0.0)
+
+    def test_registry_requires_window_at_creation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.timeseries("fresh")
+        ts = reg.timeseries("fresh", window_s=0.5)
+        assert reg.timeseries("fresh") is ts  # later callers may omit
+
+    def test_registry_rejects_kind_mismatch(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.timeseries("x", window_s=1.0)
+
+    def test_snapshot_includes_timeseries(self):
+        reg = MetricsRegistry()
+        ts = reg.timeseries("load", window_s=1.0)
+        ts.sample(0.1, 4.0)
+        snap = reg.snapshot()
+        assert snap["load"] == {"window_s": 1.0, "samples": 1, "last": 4.0}

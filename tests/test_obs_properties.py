@@ -1,0 +1,342 @@
+"""Property-based verification of critical-path attribution.
+
+Hypothesis sweeps what the example tests cannot: arbitrary scatter
+interleavings — failover ladders of any depth, retry-backoff rungs
+that may exhaust, hedge timers that win, lose, or never fire, breaker
+rejections, and shards that resolve unavailable.  The central claims:
+
+* the slowest leg's additive decomposition (detect + backoff +
+  hedge-wait + scan) reproduces the scatter state machine's ``done_s``
+  with IEEE-754 ``==`` — for *every* shard, not just the critical one;
+* :func:`cluster_critical_path` folds ``(fanout + leg) + gather`` to
+  the exact float the coordinator reported as end-to-end seconds;
+* attribution is **zero-overhead**: attaching a trace collector (and
+  an SLO monitor, for the chaos day) leaves every result dict
+  byte-identical to the untraced twin.
+
+Together with the example suites in ``test_obs_dtrace.py`` this
+carries the PR's exactness argument — 300+ generated interleavings
+per run, far beyond what the eight-query acceptance day covers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.chaos import ChaosConfig, run_cluster_chaos
+from repro.cluster import (
+    ClusterConfig,
+    ClusterError,
+    DeepStoreCluster,
+    ReplicaAttempt,
+    RetryPolicy,
+    ShardJob,
+    run_scatter,
+)
+from repro.cluster.coordinator import ClusterQueryResult, ShardReport
+from repro.core.topk import KWayMergeStats
+from repro.obs import (
+    FleetAttribution,
+    SloMonitor,
+    SloSpec,
+    TraceCollector,
+    cluster_critical_path,
+)
+from repro.serving import QueryServer, ServingConfig, poisson_arrivals
+from repro.workloads import get_app, train_scn
+
+# ----------------------------------------------------------------------
+# strategies: one scatter scenario = per-shard replica plans plus the
+# knobs that perturb the leg state machine (hedge timer, retry ladder,
+# detection cost), plus the coordinator's own fan-out/gather floats
+# ----------------------------------------------------------------------
+run_secs = st.floats(min_value=0.001, max_value=2.0,
+                     allow_nan=False, allow_infinity=False)
+pause_secs = st.floats(min_value=0.0, max_value=0.5,
+                       allow_nan=False, allow_infinity=False)
+overhead_secs = st.floats(min_value=0.0, max_value=0.01,
+                          allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def scatter_scenarios(draw):
+    n_shards = draw(st.integers(min_value=1, max_value=5))
+    shards = []
+    for _ in range(n_shards):
+        plan = draw(st.lists(st.tuples(st.booleans(), run_secs),
+                             min_size=1, max_size=4))
+        hedge = draw(st.one_of(
+            st.none(),
+            st.floats(min_value=0.001, max_value=1.5,
+                      allow_nan=False, allow_infinity=False),
+        ))
+        backoff = draw(st.one_of(
+            st.none(),
+            st.lists(pause_secs, min_size=0, max_size=3).map(tuple),
+        ))
+        detect = draw(st.floats(min_value=0.0, max_value=0.05,
+                                allow_nan=False, allow_infinity=False))
+        breakers = draw(st.integers(min_value=0, max_value=2))
+        shards.append((plan, hedge, backoff, detect, breakers))
+    scatter_s = draw(overhead_secs)
+    gather_s = draw(overhead_secs)
+    return shards, scatter_s, gather_s
+
+
+def _jobs(shards):
+    jobs = []
+    for s, (plan, hedge, backoff, detect, breakers) in enumerate(shards):
+        attempts = tuple(
+            ReplicaAttempt(
+                replica=r,
+                alive=alive,
+                run=(lambda sec=seconds, sh=s, rr=r: (sec, (sh, rr))),
+            )
+            for r, (alive, seconds) in enumerate(plan)
+        )
+        jobs.append(ShardJob(
+            shard=s,
+            attempts=attempts,
+            detect_seconds=detect,
+            hedge_delay=hedge,
+            backoff_delays=backoff,
+            breaker_rejected=tuple(
+                (len(plan) + i, "open") for i in range(breakers)
+            ),
+        ))
+    return jobs
+
+
+def _reports(scatter, jobs):
+    """Mirror the coordinator's report construction, float for float."""
+    reports = []
+    for outcome, job in zip(scatter.outcomes, jobs):
+        if outcome.unavailable:
+            reports.append(ShardReport(
+                shard=outcome.shard,
+                replica=-1,
+                seconds=outcome.done_s,
+                detect_seconds=outcome.detect_s,
+                failovers=outcome.failovers,
+                hedged=False,
+                hedge_won=False,
+                cache_hit=False,
+                k_returned=0,
+                retry_pause_seconds=outcome.retry_pause_s,
+                unavailable=True,
+                breaker_rejections=len(job.breaker_rejected),
+            ))
+            continue
+        reports.append(ShardReport(
+            shard=outcome.shard,
+            replica=outcome.replica,
+            seconds=outcome.done_s,
+            detect_seconds=outcome.detect_s,
+            failovers=outcome.failovers,
+            hedged=outcome.hedged,
+            hedge_won=outcome.hedge_won,
+            cache_hit=False,
+            k_returned=0,
+            retry_pause_seconds=outcome.retry_pause_s,
+            service_seconds=outcome.service_s,
+            hedge_wait_seconds=outcome.hedge_wait_s,
+            hedge_saved_seconds=outcome.hedge_saved_s,
+            breaker_rejections=len(job.breaker_rejected),
+        ))
+    return reports
+
+
+def _result(scatter, jobs, scatter_s, gather_s):
+    # same association order as the coordinator's latency arithmetic:
+    # total = scatter_s + scatter.makespan_s + gather_s
+    total = scatter_s + scatter.makespan_s + gather_s
+    return ClusterQueryResult(
+        feature_ids=np.zeros(0, dtype=np.int64),
+        scores=np.zeros(0, dtype=np.float32),
+        seconds=total,
+        scatter_seconds=scatter_s,
+        gather_seconds=gather_s,
+        makespan_seconds=scatter.makespan_s,
+        n_contacted=len(jobs),
+        merge=KWayMergeStats(
+            lists=len(jobs), entries_offered=0, entries_popped=0,
+            heap_ops=0,
+        ),
+        shards=_reports(scatter, jobs),
+    )
+
+
+def _leg_fold(report):
+    """Left-fold the leg segments exactly as CriticalPath does."""
+    total = 0.0
+    if report.detect_seconds != 0.0:
+        total += report.detect_seconds
+    if report.retry_pause_seconds != 0.0:
+        total += report.retry_pause_seconds
+    if not report.unavailable:
+        if report.hedge_won:
+            total += report.hedge_wait_seconds
+        total += report.service_seconds
+    return total
+
+
+# ----------------------------------------------------------------------
+# the bit-exactness property, over arbitrary interleavings
+# ----------------------------------------------------------------------
+class TestBitExactAttribution:
+    @given(scatter_scenarios())
+    @settings(max_examples=300, deadline=None)
+    def test_critical_path_sums_bit_exactly(self, scenario):
+        shards, scatter_s, gather_s = scenario
+        jobs = _jobs(shards)
+        try:
+            scatter = run_scatter(jobs)
+        except ClusterError:
+            # a fully-unavailable cluster has no latency to attribute
+            assume(False)
+        result = _result(scatter, jobs, scatter_s, gather_s)
+        path = cluster_critical_path(result)
+        assert path.exact
+        assert path.component_sum() == result.seconds  # IEEE-754 ==
+        assert path.bit_exact
+        # the named critical shard is the one the max() picked
+        crit = max(result.shards, key=lambda s: s.seconds)
+        assert path.info["critical_shard"] == crit.shard
+        assert path.as_dict()["bit_exact"] is True
+
+    @given(scatter_scenarios())
+    @settings(max_examples=300, deadline=None)
+    def test_every_leg_decomposes_to_done_s(self, scenario):
+        """Stronger than the critical path: *each* shard's additive
+        segments replay the state machine's ``done_s`` exactly."""
+        shards, _scatter_s, _gather_s = scenario
+        jobs = _jobs(shards)
+        try:
+            scatter = run_scatter(jobs)
+        except ClusterError:
+            assume(False)
+        for report in _reports(scatter, jobs):
+            assert _leg_fold(report) == report.seconds  # IEEE-754 ==
+
+    @given(scatter_scenarios())
+    @settings(max_examples=100, deadline=None)
+    def test_tracing_never_perturbs_outcomes(self, scenario):
+        """run_scatter with a collector attached is bit-identical."""
+        shards, _scatter_s, _gather_s = scenario
+        jobs = _jobs(shards)
+        try:
+            bare = run_scatter(jobs)
+        except ClusterError:
+            assume(False)
+        dt = TraceCollector()
+        ctxs = {
+            job.shard: dt.start_trace(f"shard {job.shard}", 0.0,
+                                      kind="test", track="test")
+            for job in jobs
+        }
+        traced = run_scatter(_jobs(shards), dtrace=dt, shard_ctxs=ctxs)
+        for a, b in zip(bare.outcomes, traced.outcomes):
+            assert (a.shard, a.replica, a.start_s, a.done_s,
+                    a.detect_s, a.retry_pause_s, a.failovers,
+                    a.hedged, a.hedge_won, a.unavailable,
+                    a.service_s, a.hedge_wait_s, a.hedge_saved_s) == (
+                    b.shard, b.replica, b.start_s, b.done_s,
+                    b.detect_s, b.retry_pause_s, b.failovers,
+                    b.hedged, b.hedge_won, b.unavailable,
+                    b.service_s, b.hedge_wait_s, b.hedge_saved_s)
+        assert bare.makespan_s == traced.makespan_s
+
+
+# ----------------------------------------------------------------------
+# acceptance: a real hardened cluster day, every query bit-exact
+# ----------------------------------------------------------------------
+def _hardened_cluster():
+    return DeepStoreCluster(ClusterConfig(
+        n_shards=3,
+        n_replicas=2,
+        seed=0,
+        hedge_fraction=0.3,
+        straggler_spread=0.5,
+        fail_shards=((1, 0),),
+        retry_policy=RetryPolicy(),
+    ))
+
+
+class TestRealClusterAcceptance:
+    def test_hardened_day_is_bit_exact(self):
+        app = get_app("reid")
+        rng = np.random.default_rng(0)
+        features = rng.normal(0, 1, (240, app.feature_floats)).astype(
+            np.float32
+        )
+        dtrace = TraceCollector()
+        cluster = _hardened_cluster()
+        db = cluster.write_db(features)
+        model = cluster.load_graph(train_scn(app, seed=0))
+        fleet = FleetAttribution()
+        saw_failover = saw_hedge = False
+        for _ in range(8):
+            q = rng.normal(0, 1, app.feature_floats).astype(np.float32)
+            result = cluster.query(q, 5, model, db, dtrace=dtrace)
+            path = cluster_critical_path(result)
+            assert path.component_sum() == result.seconds
+            fleet.add(path)
+            saw_failover = saw_failover or result.failovers > 0
+            saw_hedge = saw_hedge or result.hedges_launched > 0
+        assert fleet.exact_fraction == 1.0
+        # the scenario actually exercised the hard segments
+        assert saw_failover and saw_hedge
+        assert dtrace.open_count == 0
+
+
+# ----------------------------------------------------------------------
+# zero overhead: observability attached == observability absent
+# ----------------------------------------------------------------------
+class TestZeroOverheadParity:
+    def test_cluster_parity(self):
+        app = get_app("reid")
+        rng = np.random.default_rng(1)
+        features = rng.normal(0, 1, (240, app.feature_floats)).astype(
+            np.float32
+        )
+        queries = [
+            rng.normal(0, 1, app.feature_floats).astype(np.float32)
+            for _ in range(4)
+        ]
+
+        def day(dtrace=None):
+            cluster = _hardened_cluster()
+            db = cluster.write_db(features)
+            model = cluster.load_graph(train_scn(app, seed=0))
+            return [
+                cluster.query(q, 5, model, db, dtrace=dtrace).to_dict()
+                for q in queries
+            ]
+
+        assert day(dtrace=TraceCollector()) == day()
+
+    def test_serving_parity(self):
+        config = ServingConfig(app="tir", features=20_000, queue_bound=8)
+
+        def day(**obs):
+            server = QueryServer(config)
+            arrivals = poisson_arrivals(
+                40, server.saturation_qps() * 1.2, seed=7, compat="tir"
+            )
+            return server.run(arrivals, **obs).as_dict()
+
+        traced = day(
+            dtrace=TraceCollector(),
+            slo=SloMonitor([SloSpec("read", target=0.9)],
+                           sample_interval_s=0.05),
+        )
+        assert traced == day()
+
+    def test_chaos_parity(self):
+        config = ChaosConfig(seed=5, queries=12, kills=2, crashes=1,
+                             mutations=12)
+        traced = run_cluster_chaos(config, dtrace=TraceCollector())
+        bare = run_cluster_chaos(config)
+        assert traced.to_dict() == bare.to_dict()
+        # the SLO side-channel is additive: alerts exist, dict untouched
+        assert pytest.approx(traced.availability) == bare.availability

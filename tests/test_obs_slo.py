@@ -1,0 +1,233 @@
+"""Tests for SLO monitoring: windows, burn rates, alerts, hysteresis."""
+
+import pytest
+
+from repro.obs import (
+    BurnRateRule,
+    MetricsRegistry,
+    SloMonitor,
+    SloSpec,
+    default_chaos_monitor,
+)
+
+
+def _monitor(rules=(), interval=0.1, threshold=None, target=0.9):
+    return SloMonitor(
+        [SloSpec("read", target=target, latency_threshold_s=threshold)],
+        rules=rules,
+        sample_interval_s=interval,
+    )
+
+
+class TestSpecs:
+    def test_budget(self):
+        assert SloSpec("x", target=0.99).budget == pytest.approx(0.01)
+
+    def test_target_must_leave_budget(self):
+        with pytest.raises(ValueError):
+            SloSpec("x", target=1.0)
+        with pytest.raises(ValueError):
+            SloSpec("x", target=0.0)
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            BurnRateRule("r", "x", window_s=0.0)
+        with pytest.raises(ValueError):
+            BurnRateRule("r", "x", window_s=1.0, burn_threshold=0.0)
+        with pytest.raises(ValueError):
+            BurnRateRule("r", "x", window_s=1.0, min_events=0)
+
+    def test_duplicate_slo_rejected(self):
+        with pytest.raises(ValueError):
+            SloMonitor([SloSpec("a"), SloSpec("a")])
+
+    def test_rule_must_reference_known_slo(self):
+        with pytest.raises(ValueError):
+            SloMonitor([SloSpec("a")],
+                       rules=[BurnRateRule("r", "ghost", window_s=1.0)])
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SloMonitor([SloSpec("a")], sample_interval_s=0.0)
+
+
+class TestRecording:
+    def test_latency_threshold_classifies(self):
+        mon = _monitor(threshold=0.5)
+        mon.record("read", 0.01, latency_s=0.2)   # good
+        mon.record("read", 0.02, latency_s=0.9)   # bad
+        mon.finish()
+        budget = mon.error_budget("read")
+        assert budget["events"] == 2
+        assert budget["bad"] == 1
+
+    def test_explicit_good_wins(self):
+        mon = _monitor()
+        mon.record("read", 0.01, good=False)
+        mon.finish()
+        assert mon.error_budget("read")["bad"] == 1
+
+    def test_no_threshold_defaults_good(self):
+        mon = _monitor()
+        mon.record("read", 0.01, latency_s=99.0)
+        mon.finish()
+        assert mon.error_budget("read")["bad"] == 0
+
+    def test_unknown_slo_ignored(self):
+        mon = _monitor()
+        mon.record("ghost", 0.01, good=False)
+        mon.finish()
+        assert mon.error_budget("read")["events"] == 0
+
+    def test_gauges_sampled_at_boundaries(self):
+        mon = _monitor(interval=0.1)
+        mon.record("read", 0.05, good=True)
+        mon.record("read", 0.15, good=False)
+        mon.finish(0.2)
+        ts = mon.registry.timeseries("slo.read.good_fraction")
+        times = [t for t, _v in ts.samples]
+        assert times == pytest.approx([0.1, 0.2])
+        values = [v for _t, v in ts.samples]
+        assert values == pytest.approx([1.0, 0.0])
+        bad = mon.registry.timeseries("slo.read.bad")
+        assert [v for _t, v in bad.samples] == pytest.approx([0.0, 1.0])
+
+    def test_empty_boundary_samples_good(self):
+        mon = _monitor(interval=0.1)
+        mon.record("read", 0.35, good=True)  # boundaries 0.1..0.3 empty
+        mon.finish()
+        ts = mon.registry.timeseries("slo.read.good_fraction")
+        assert [v for _t, v in ts.samples[:3]] == pytest.approx(
+            [1.0, 1.0, 1.0]
+        )
+        events = mon.registry.timeseries("slo.read.events")
+        assert [v for _t, v in events.samples[:3]] == pytest.approx(
+            [0.0, 0.0, 0.0]
+        )
+
+
+class TestAlerting:
+    def _burning(self, **kw):
+        kw.setdefault("window_s", 0.2)
+        kw.setdefault("burn_threshold", 2.0)
+        return _monitor(rules=[BurnRateRule("fast", "read", **kw)])
+
+    def test_fires_on_fast_burn(self):
+        mon = self._burning()
+        # budget 0.1; 2/4 bad => burn 5.0 > 2.0
+        for i, good in enumerate((True, False, False, True)):
+            mon.record("read", 0.02 * (i + 1), good=good)
+        mon.finish(0.2)
+        assert len(mon.alerts) == 1
+        alert = mon.alerts[0]
+        assert alert.rule == "fast"
+        assert alert.at_s == pytest.approx(0.1)
+        assert alert.burn_rate == pytest.approx((2 / 4) / 0.1)
+        assert alert.bad == 2 and alert.total == 4
+
+    def test_hysteresis_fires_once_until_quiet(self):
+        mon = self._burning(window_s=0.1)
+        # bad events in boundary 1 and 2: still one alert (no quiet gap)
+        mon.record("read", 0.05, good=False)
+        mon.record("read", 0.15, good=False)
+        # boundary 3 is quiet (window has only the good event) -> re-arm
+        mon.record("read", 0.25, good=True)
+        # boundary 4 burns again -> second alert
+        mon.record("read", 0.35, good=False)
+        mon.finish(0.4)
+        assert [a.at_s for a in mon.alerts] == pytest.approx([0.1, 0.4])
+
+    def test_min_events_suppresses_thin_windows(self):
+        mon = self._burning(min_events=3)
+        mon.record("read", 0.05, good=False)
+        mon.finish(0.2)
+        assert mon.alerts == []
+
+    def test_first_alert_at(self):
+        mon = self._burning(window_s=0.1)
+        mon.record("read", 0.05, good=False)
+        # a quiet populated boundary re-arms the rule (empty windows
+        # are skipped by min_events and leave the alert active)
+        mon.record("read", 0.25, good=True)
+        mon.record("read", 0.45, good=False)
+        mon.finish(0.5)
+        assert mon.first_alert_at(0.0) == pytest.approx(0.1)
+        assert mon.first_alert_at(0.2) == pytest.approx(0.5)
+        assert mon.first_alert_at(0.6) is None
+
+    def test_no_rules_no_alerts(self):
+        mon = _monitor()
+        mon.record("read", 0.05, good=False)
+        mon.finish()
+        assert mon.alerts == []
+
+
+class TestBudgetAndReport:
+    def test_budget_remaining_goes_negative_on_violation(self):
+        mon = _monitor(target=0.9)
+        for i in range(10):
+            mon.record("read", 0.01 * (i + 1), good=(i >= 2))  # 2 bad
+        mon.finish()
+        budget = mon.error_budget("read")
+        assert budget["good_fraction"] == pytest.approx(0.8)
+        assert budget["budget_remaining"] == pytest.approx(-1.0)
+        assert budget["violated"]
+
+    def test_untouched_slo_keeps_full_budget(self):
+        mon = _monitor()
+        mon.finish(0.2)
+        budget = mon.error_budget("read")
+        assert budget["events"] == 0
+        assert budget["budget_remaining"] == 1.0
+        assert not budget["violated"]
+
+    def test_report_shape(self):
+        mon = _monitor(
+            rules=[BurnRateRule("fast", "read", window_s=0.2)]
+        )
+        mon.record("read", 0.05, good=True)
+        mon.finish(0.3)
+        report = mon.report()
+        assert report["sample_interval_s"] == pytest.approx(0.1)
+        assert report["boundaries"] == 3
+        assert set(report["slos"]) == {"read"}
+        assert report["rules"][0]["name"] == "fast"
+        assert report["alerts"] == []
+
+    def test_finish_includes_exact_end_boundary(self):
+        mon = _monitor(interval=0.1)
+        mon.record("read", 0.05, good=True)
+        mon.finish(0.3)
+        ts = mon.registry.timeseries("slo.read.events")
+        assert [t for t, _v in ts.samples] == pytest.approx(
+            [0.1, 0.2, 0.3]
+        )
+
+    def test_shared_registry(self):
+        reg = MetricsRegistry()
+        mon = SloMonitor([SloSpec("read")], registry=reg,
+                         sample_interval_s=0.1)
+        mon.record("read", 0.05, good=True)
+        mon.finish()
+        assert "slo.read.events" in reg.snapshot()
+
+
+class TestDefaultChaosMonitor:
+    def test_stock_shape(self):
+        mon = default_chaos_monitor(2.0)
+        assert set(mon.specs) == {"availability", "latency"}
+        assert mon.sample_interval_s == pytest.approx(0.1)
+        assert [r.window_s for r in mon.rules] == pytest.approx([0.2, 0.2])
+        assert all(r.burn_threshold == 1.0 for r in mon.rules)
+
+    def test_detects_a_kill_storm(self):
+        mon = default_chaos_monitor(1.0)
+        # healthy until 0.4, then every query fails for a while
+        for i in range(8):
+            mon.record("availability", 0.05 * (i + 1), good=True)
+        for i in range(4):
+            mon.record("availability", 0.45 + 0.05 * i, good=False)
+        mon.finish(1.0)
+        first = mon.first_alert_at(0.4)
+        assert first is not None
+        assert first >= 0.4
