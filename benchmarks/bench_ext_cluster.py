@@ -23,31 +23,33 @@ SEED = 7
 SHARD_COUNTS = (1, 2, 4, 8, 16, 32)
 
 
-def run_scaling():
+def run_scaling(scale: int = 1):
     app = get_app(APP)
+    features = FEATURES * scale
     rows = []
     for shards in SHARD_COUNTS:
         est = ClusterModel(
             ClusterConfig(n_shards=shards, seed=SEED)
-        ).estimate(app, FEATURES, k=K)
+        ).estimate(app, features, k=K)
         rows.append(est)
     return rows
 
 
-def run_degraded():
+def run_degraded(scale: int = 1):
     app = get_app(APP)
+    features = FEATURES * scale
     failover = ClusterModel(
         ClusterConfig(n_shards=8, n_replicas=2, seed=SEED,
                       fail_shards=((0, 0), (3, 0)))
-    ).estimate(app, FEATURES, k=K)
+    ).estimate(app, features, k=K)
     straggled = ClusterModel(
         ClusterConfig(n_shards=8, n_replicas=2, seed=SEED + 9,
                       straggler_spread=3.0)
-    ).estimate(app, FEATURES, k=K)
+    ).estimate(app, features, k=K)
     hedged = ClusterModel(
         ClusterConfig(n_shards=8, n_replicas=2, seed=SEED + 9,
                       straggler_spread=3.0, hedge_fraction=1.25)
-    ).estimate(app, FEATURES, k=K)
+    ).estimate(app, features, k=K)
     return failover, straggled, hedged
 
 
@@ -90,8 +92,10 @@ def degraded_table(failover, straggled, hedged):
     return table
 
 
-def test_ext_cluster_scaling(benchmark):
-    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+def test_ext_cluster_scaling(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        run_scaling, args=(bench_scale,), rounds=1, iterations=1
+    )
     emit(scaling_table(rows), "ext_cluster_scaling.txt")
 
     assert rows[0].speedup_vs_single == 1.0
@@ -104,8 +108,8 @@ def test_ext_cluster_scaling(benchmark):
         assert overhead / est.seconds < 0.02
 
 
-def test_ext_cluster_degraded():
-    failover, straggled, hedged = run_degraded()
+def test_ext_cluster_degraded(bench_scale):
+    failover, straggled, hedged = run_degraded(bench_scale)
     emit(degraded_table(failover, straggled, hedged),
          "ext_cluster_degraded.txt")
 

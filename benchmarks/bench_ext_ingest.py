@@ -30,8 +30,33 @@ from conftest import RESULTS_DIR, emit
 CONFIG: LifecycleConfig = GATE_CONFIG
 
 
-def run_loop():
-    return run_lifecycle(CONFIG)
+def scaled_config(scale: int = 1) -> LifecycleConfig:
+    """The gate config with every row count multiplied by ``scale``.
+
+    ``scale=1`` returns ``GATE_CONFIG`` itself, so the smoke run and
+    the scorecard leg stay the same object; larger scales grow the base
+    set and the per-round churn proportionally, preserving the delta
+    fractions the staleness claims are about.  The ingest flash region
+    grows with the churn so GC keeps firing at the same relative
+    pressure instead of exhausting logical space.
+    """
+    if scale == 1:
+        return CONFIG
+    from dataclasses import replace
+
+    return replace(
+        CONFIG,
+        n_base=CONFIG.n_base * scale,
+        planted_per_round=CONFIG.planted_per_round * scale,
+        random_per_round=CONFIG.random_per_round * scale,
+        deletes_per_round=CONFIG.deletes_per_round * scale,
+        updates_per_round=CONFIG.updates_per_round * scale,
+        region_blocks=CONFIG.region_blocks * scale,
+    )
+
+
+def run_loop(scale: int = 1):
+    return run_lifecycle(scaled_config(scale))
 
 
 def staleness_table(report):
@@ -81,8 +106,10 @@ def lifecycle_table(report):
     return table
 
 
-def test_ext_ingest_lifecycle(benchmark):
-    report = benchmark.pedantic(run_loop, rounds=1, iterations=1)
+def test_ext_ingest_lifecycle(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_loop, args=(bench_scale,), rounds=1, iterations=1
+    )
     emit(staleness_table(report), "ext_ingest_staleness.txt")
     emit(lifecycle_table(report), "ext_ingest_lifecycle.txt")
 

@@ -49,10 +49,10 @@ CLUSTER = ClusterConfig(
 )
 
 
-def run_traced_day():
+def run_traced_day(scale: int = 1):
     app = get_app("tir")
     rng = np.random.default_rng(0)
-    features = rng.normal(0, 1, (2_000, app.feature_floats)).astype(
+    features = rng.normal(0, 1, (2_000 * scale, app.feature_floats)).astype(
         np.float32
     )
     dtrace = TraceCollector()
@@ -61,7 +61,7 @@ def run_traced_day():
     model = cluster.load_graph(train_scn(app, seed=0))
     queries = [
         rng.normal(0, 1, app.feature_floats).astype(np.float32)
-        for _ in range(N_QUERIES)
+        for _ in range(N_QUERIES * scale)
     ]
     results = [
         cluster.query(q, 5, model, db, dtrace=dtrace) for q in queries
@@ -125,9 +125,9 @@ def slo_table(report):
     return table
 
 
-def test_ext_obs_attribution(benchmark):
+def test_ext_obs_attribution(benchmark, bench_scale):
     results, untraced, dtrace = benchmark.pedantic(
-        run_traced_day, rounds=1, iterations=1
+        run_traced_day, args=(bench_scale,), rounds=1, iterations=1
     )
 
     # --- zero cost: the traced day equals the untraced day, byte for byte

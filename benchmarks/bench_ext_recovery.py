@@ -34,10 +34,32 @@ from conftest import RESULTS_DIR, emit
 CONFIG = ChaosConfig(seed=SCORECARD_SEED)
 
 
-def run_day():
+def scaled_config(scale: int = 1) -> ChaosConfig:
+    """The gate config with the day's event counts scaled up.
+
+    ``scale=1`` is ``CONFIG`` itself (the scorecard day); larger scales
+    multiply mutations, rows, and query pressure while keeping fault
+    structure (crash/kill counts, compaction points) fixed.
+    """
+    if scale == 1:
+        return CONFIG
+    from dataclasses import replace
+
+    return replace(
+        CONFIG,
+        n_base=CONFIG.n_base * scale,
+        mutations=CONFIG.mutations * scale,
+        cluster_rows=CONFIG.cluster_rows * scale,
+        queries=CONFIG.queries * scale,
+        bursts=CONFIG.bursts * scale,
+    )
+
+
+def run_day(scale: int = 1):
+    config = scaled_config(scale)
     return (
-        run_durability_chaos(CONFIG),
-        run_cluster_chaos(CONFIG),
+        run_durability_chaos(config),
+        run_cluster_chaos(config),
     )
 
 
@@ -105,9 +127,9 @@ def availability_table(report):
     return table
 
 
-def test_ext_recovery_chaos_day(benchmark):
+def test_ext_recovery_chaos_day(benchmark, bench_scale):
     durability, availability = benchmark.pedantic(
-        run_day, rounds=1, iterations=1
+        run_day, args=(bench_scale,), rounds=1, iterations=1
     )
     emit(durability_table(durability), "ext_recovery_durability.txt")
     emit(wal_table(durability), "ext_recovery_wal.txt")

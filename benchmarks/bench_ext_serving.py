@@ -27,23 +27,25 @@ SEED = 7
 FRACTIONS = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5)
 
 
-def run_variants():
+def run_variants(scale: int = 1):
+    features = FEATURES * scale
+    queries = QUERIES * scale
     plain = sweep_offered_load(
-        ServingConfig(app="tir", features=FEATURES, queue_bound=32,
+        ServingConfig(app="tir", features=features, queue_bound=32,
                       max_batch=8),
-        n_queries=QUERIES, seed=SEED, load_fractions=FRACTIONS,
+        n_queries=queries, seed=SEED, load_fractions=FRACTIONS,
     )
     cached = sweep_offered_load(
-        ServingConfig(app="tir", features=FEATURES, queue_bound=32,
+        ServingConfig(app="tir", features=features, queue_bound=32,
                       max_batch=8, cache_entries=256),
-        n_queries=QUERIES, seed=SEED, load_fractions=FRACTIONS,
+        n_queries=queries, seed=SEED, load_fractions=FRACTIONS,
         stream=QueryStream(dim=64, n_intents=40, distribution="zipf",
                            alpha=0.8, paraphrase_noise=0.05, seed=SEED),
     )
     degraded = sweep_offered_load(
-        ServingConfig(app="tir", features=FEATURES, queue_bound=32,
+        ServingConfig(app="tir", features=features, queue_bound=32,
                       max_batch=8, failed_accels=(0, 1)),
-        n_queries=QUERIES, seed=SEED, load_fractions=FRACTIONS,
+        n_queries=queries, seed=SEED, load_fractions=FRACTIONS,
     )
     return plain, cached, degraded
 
@@ -69,9 +71,9 @@ def curves_table(plain, cached, degraded):
     return table
 
 
-def test_ext_serving(benchmark):
+def test_ext_serving(benchmark, bench_scale):
     plain, cached, degraded = benchmark.pedantic(
-        run_variants, rounds=1, iterations=1
+        run_variants, args=(bench_scale,), rounds=1, iterations=1
     )
     emit(curves_table(plain, cached, degraded), "ext_serving.txt")
 

@@ -23,6 +23,28 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 __all__ = ["PAPER_SPEEDUP", "PAPER_ENERGY", "RESULTS_DIR", "emit"]
 
 
+def pytest_addoption(parser):
+    """One knob for every ``bench_ext_*`` workload size.
+
+    ``--bench-scale 1`` (default) is the CI smoke size; the timing gate
+    runs ``--bench-scale 10`` so regressions in the simulator hot loops
+    are measured at sizes where they dominate.  Scaling changes only
+    workload magnitude, never model parameters.
+    """
+    parser.addoption(
+        "--bench-scale", type=int, default=1,
+        help="workload-size multiplier for bench_ext_* legs",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> int:
+    scale = request.config.getoption("--bench-scale")
+    if scale < 1:
+        raise pytest.UsageError("--bench-scale must be >= 1")
+    return scale
+
+
 def emit(table: Table, filename: str) -> None:
     """Print a table and persist it under benchmarks/results/."""
     text = table.render()

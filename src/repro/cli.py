@@ -317,6 +317,64 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_hotspots(args: argparse.Namespace) -> int:
+    """Host-CPU hotspots of one query: cProfile over the fast path.
+
+    Unlike the resource profile (simulated time), this measures where
+    the *simulator itself* burns wall-clock — the numbers the fastpath
+    refactor optimizes.  Runs untraced so the inlined drain loop (the
+    production configuration) is what gets measured.
+    """
+    import cProfile
+    import json
+    import pstats
+
+    from repro.core.event_query import EventQuerySimulator
+    from repro.sim import fastpath
+    from repro.ssd import Ssd
+    from repro.workloads import get_app
+
+    app = get_app(args.app)
+    ssd = Ssd()
+    meta = ssd.ftl.create_database(app.feature_bytes, args.features)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = EventQuerySimulator().run(
+        app, meta, max_pages_per_channel=args.max_pages
+    )
+    profiler.disable()
+    if args.pstats_out:
+        profiler.dump_stats(args.pstats_out)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    if args.json:
+        rows = []
+        for (filename, line, name), (cc, nc, tt, ct, _callers) in sorted(
+            stats.stats.items(), key=lambda item: -item[1][3]
+        )[: args.top]:
+            rows.append({
+                "function": name, "file": filename, "line": line,
+                "ncalls": nc, "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            })
+        print(json.dumps({
+            "app": app.name,
+            "fastpath": fastpath.enabled(),
+            "fastpath_stats": dict(fastpath.stats),
+            "scan_seconds": result.scan_seconds,
+            "hotspots": rows,
+        }, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"host-CPU hotspots ({app.name}, fastpath "
+        f"{'on' if fastpath.enabled() else 'off'}, "
+        f"simulated scan {result.scan_seconds:.6f}s)"
+    )
+    stats.print_stats(args.top)
+    print(f"fastpath cache stats: {dict(fastpath.stats)}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Top-N busiest resources and idle-gap analysis of one query."""
     import json
@@ -324,6 +382,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.analysis import Table, format_seconds
     from repro.obs import profile_resources
 
+    if args.hotspots:
+        return _cmd_profile_hotspots(args)
     try:
         app, result, tracer, metrics = _run_traced_query(args)
     except (ValueError, RuntimeError) as exc:
@@ -1071,6 +1131,12 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="busiest resources + idle-gap analysis"
     )
     add_obs_args(profile)
+    profile.add_argument("--hotspots", action="store_true",
+                         help="host-CPU cProfile of the query instead of "
+                              "simulated-resource usage")
+    profile.add_argument("--pstats-out", default="",
+                         help="with --hotspots: dump raw pstats here "
+                              "(CI uploads it as an artifact)")
 
     serve = sub.add_parser(
         "serve", help="open-loop serving sweep / perf scorecard"

@@ -42,6 +42,10 @@ from repro.cluster.ingest import (
     ShardIngestTracker,
 )
 from repro.cluster.model import ClusterEstimate, ClusterModel
+from repro.cluster.parallel import (
+    ParallelGatherResult,
+    scatter_gather_topk,
+)
 from repro.cluster.placement import (
     ShardPlacement,
     hash_placement,
@@ -71,6 +75,7 @@ __all__ = [
     "BrownoutController",
     "CircuitBreaker",
     "PLACEMENT_STRATEGIES",
+    "ParallelGatherResult",
     "ClusterBatchCostModel",
     "ClusterConfig",
     "ClusterError",
@@ -98,4 +103,5 @@ __all__ = [
     "normalize_fail_shards",
     "range_placement",
     "run_scatter",
+    "scatter_gather_topk",
 ]

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cluster.config import ClusterConfig, ClusterError
-from repro.cluster.placement import make_placement
+from repro.cluster.placement import make_placement, range_shard_sizes
 from repro.cluster.scatter import (
     ReplicaAttempt,
     ScatterResult,
@@ -33,6 +33,7 @@ from repro.cluster.scatter import (
 )
 from repro.core.deepstore import DeepStoreSystem
 from repro.core.topk import KWayMergeStats
+from repro.sim import fastpath
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.ssd.ftl import DatabaseMetadata
@@ -116,7 +117,10 @@ class ClusterModel:
             feature_count=shard_features,
             page_bytes=self.ssd.geometry.page_bytes,
         )
-        graph = app.build_scn(seed=self.config.seed)
+        # one estimate calls this per shard plus once for the
+        # single-SSD anchor; rebuilding + re-initializing the graph
+        # each time both costs the init and defeats the profile memo
+        graph = fastpath.scn_graph(app, seed=self.config.seed)
         latency = system.latency_for(
             graph, meta, feature_bytes=app.feature_bytes, name=app.name
         )
@@ -132,18 +136,24 @@ class ClusterModel:
         if k <= 0:
             raise ClusterError("K must be positive")
         cfg = self.config
-        placement = make_placement(
-            cfg.placement, n_features, cfg.n_shards, seed=cfg.seed
-        )
-        shards = placement.non_empty_shards()
+        if fastpath.enabled() and cfg.placement == "range":
+            # the analytic model consumes only shard *sizes*; skip
+            # materializing one arange of ids per shard (hundreds of MB
+            # at sweep scale) and take the counts straight off the cuts
+            sizes = range_shard_sizes(n_features, cfg.n_shards)
+            shards = [s for s, size in enumerate(sizes) if size > 0]
+        else:
+            placement = make_placement(
+                cfg.placement, n_features, cfg.n_shards, seed=cfg.seed
+            )
+            sizes = [len(ids) for ids in placement.owners]
+            shards = placement.non_empty_shards()
         dead = set(cfg.dead_replicas())
         detect = cfg.dispatch_policy.give_up_seconds()
 
         jobs: List[ShardJob] = []
         for shard in shards:
-            healthy = self.shard_seconds(
-                app, len(placement.owners[shard]), k
-            )
+            healthy = self.shard_seconds(app, sizes[shard], k)
             primary = shard % cfg.n_replicas  # single-query read spread
             attempts = []
             for j in range(cfg.n_replicas):

@@ -1,0 +1,175 @@
+"""Opt-in process-parallel shard execution for scatter-gather queries.
+
+Between scatter and gather, shard legs are completely independent: each
+one runs its own device simulation over its own partition and returns a
+canonical top-K partial plus its simulated seconds.  That makes the
+scatter loop embarrassingly parallel in *wall-clock* terms without
+touching *simulated* time — the numbers a shard leg returns are a pure
+function of its inputs, so running legs in forked child processes
+produces byte-identical partials, and the gather
+(:func:`repro.core.topk.kway_merge_topk`) sees exactly the sequence the
+sequential loop would have built.
+
+The executor forks one child per shard leg (bounded by ``processes``),
+ships the leg's pickled ``(partial, seconds)`` result back over a pipe,
+and merges in shard order.  ``fork`` (not ``spawn``) is required
+because shard runners are closures over live device objects; platforms
+without ``os.fork`` fall back to the sequential loop, as does
+``processes<=1``.  Parallelism is **opt-in**: the coordinator's normal
+query path mutates per-replica state (circuit breakers, metrics,
+caches) that forked children cannot write back, so only stateless legs
+— the kind the scaling benches and what-if sweeps run — go through
+here.
+
+``tests/test_sim_fastpath.py`` asserts the bit-equality contract:
+parallel merge == sequential scatter-gather, same floats, same order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterError
+from repro.core.topk import KWayMergeStats, kway_merge_topk, topk_select
+
+#: environment knob consulted when ``processes`` is not given: the
+#: number of concurrent shard workers (unset/0 ⇒ sequential)
+ENV_VAR = "REPRO_PARALLEL_SHARDS"
+
+#: a shard leg: shard index -> ((score, id) pairs, simulated seconds).
+#: Pairs need not be pre-sorted; the executor canonicalizes them.
+ShardRunner = Callable[[int], Tuple[Sequence[Tuple[float, int]], float]]
+
+
+@dataclass
+class ParallelGatherResult:
+    """Outcome of one (possibly parallel) scatter-gather."""
+
+    #: exact global top-K, canonical order
+    merged: List[Tuple[float, int]]
+    stats: KWayMergeStats
+    #: canonicalized per-shard partials, in shard order
+    partials: List[List[Tuple[float, int]]]
+    #: simulated seconds per shard leg, in shard order
+    shard_seconds: List[float]
+    #: worker processes actually used (1 ⇒ sequential loop)
+    processes: int
+
+    @property
+    def makespan_s(self) -> float:
+        """Simulated scatter makespan (legs run concurrently)."""
+        return max(self.shard_seconds, default=0.0)
+
+
+def default_processes() -> int:
+    """Worker count from ``REPRO_PARALLEL_SHARDS`` (0 ⇒ sequential)."""
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, value)
+
+
+def _run_leg(runner: ShardRunner, shard: int, k: int) -> Tuple[List[Tuple[float, int]], float]:
+    pairs, seconds = runner(shard)
+    # canonicalize in the worker: the child does the sort so the parent
+    # only merges, and the sequential path uses the exact same call
+    return topk_select(pairs, k), float(seconds)
+
+
+def _fork_leg(runner: ShardRunner, shard: int, k: int) -> Tuple[int, int]:
+    """Fork one shard worker; returns ``(pid, read_fd)``.
+
+    The child inherits the runner's closed-over devices by fork, runs
+    the leg, writes one pickled ``(ok, value)`` payload, and exits
+    without running parent cleanup (``os._exit``).
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # child
+        os.close(read_fd)
+        try:
+            payload = pickle.dumps((True, _run_leg(runner, shard, k)))
+        except BaseException as exc:  # noqa: BLE001 - must not escape the child
+            payload = pickle.dumps((False, f"{type(exc).__name__}: {exc}"))
+        try:
+            with os.fdopen(write_fd, "wb") as pipe:
+                pipe.write(payload)
+        finally:
+            os._exit(0)
+    os.close(write_fd)
+    return pid, read_fd
+
+
+def _collect_leg(shard: int, pid: int, read_fd: int) -> Tuple[List[Tuple[float, int]], float]:
+    with os.fdopen(read_fd, "rb") as pipe:
+        payload = pipe.read()
+    os.waitpid(pid, 0)
+    if not payload:
+        raise ClusterError(f"shard {shard} worker died without a result")
+    ok, value = pickle.loads(payload)
+    if not ok:
+        raise ClusterError(f"shard {shard} worker failed: {value}")
+    return value
+
+
+def scatter_gather_topk(
+    runner: ShardRunner,
+    shards: Sequence[int],
+    k: int,
+    processes: Optional[int] = None,
+) -> ParallelGatherResult:
+    """Run every shard leg, then K-way merge the partials.
+
+    ``processes`` bounds concurrent forked workers; ``None`` defers to
+    ``REPRO_PARALLEL_SHARDS`` and ``<=1`` (or a platform without
+    ``fork``) runs the plain sequential loop.  Parallel and sequential
+    execution return bit-identical results — same partials, same merge,
+    same per-leg seconds — because each leg is a pure function of its
+    shard index; only host wall-clock differs.
+    """
+    if k <= 0:
+        raise ClusterError("K must be positive")
+    shard_list = list(shards)
+    workers = default_processes() if processes is None else max(1, processes)
+    workers = min(workers, len(shard_list)) if shard_list else 1
+
+    legs: List[Tuple[List[Tuple[float, int]], float]] = []
+    if workers <= 1 or not hasattr(os, "fork"):
+        legs = [_run_leg(runner, shard, k) for shard in shard_list]
+        workers = 1
+    else:
+        # bounded fork pool, collected in shard order.  FIFO collection
+        # cannot deadlock: every child writes its (small) payload and
+        # exits regardless of when the parent reads, and the parent
+        # always reads each pipe to EOF before reaping.
+        results: List[Optional[Tuple[List[Tuple[float, int]], float]]] = [
+            None
+        ] * len(shard_list)
+        inflight: List[Tuple[int, int, int]] = []  # (index, pid, read_fd)
+        next_leg = 0
+        while next_leg < len(shard_list) or inflight:
+            while next_leg < len(shard_list) and len(inflight) < workers:
+                pid, read_fd = _fork_leg(runner, shard_list[next_leg], k)
+                inflight.append((next_leg, pid, read_fd))
+                next_leg += 1
+            index, pid, read_fd = inflight.pop(0)
+            results[index] = _collect_leg(shard_list[index], pid, read_fd)
+        legs = [leg for leg in results if leg is not None]
+
+    partials = [leg[0] for leg in legs]
+    shard_seconds = [leg[1] for leg in legs]
+    merged, stats = kway_merge_topk(partials, k)
+    return ParallelGatherResult(
+        merged=merged,
+        stats=stats,
+        partials=partials,
+        shard_seconds=shard_seconds,
+        processes=workers,
+    )

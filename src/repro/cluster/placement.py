@@ -104,6 +104,22 @@ def range_placement(n_features: int, n_shards: int) -> ShardPlacement:
     return ShardPlacement("range", n_features, owners)
 
 
+def range_shard_sizes(n_features: int, n_shards: int) -> List[int]:
+    """Per-shard feature counts of :func:`range_placement`, sizes only.
+
+    Exactly ``[len(ids) for ids in range_placement(...).owners]`` — same
+    linspace cuts — without materializing the id arrays.  The analytic
+    cluster model needs only the counts, and at tens of millions of
+    features per estimate the aranges are the dominant allocation.
+    """
+    if n_features < 0:
+        raise ValueError("n_features cannot be negative")
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    cuts = np.linspace(0, n_features, n_shards + 1).astype(np.int64)
+    return [int(cuts[s + 1] - cuts[s]) for s in range(n_shards)]
+
+
 def hash_placement(
     n_features: int, n_shards: int, seed: int = 0
 ) -> ShardPlacement:

@@ -173,16 +173,20 @@ class CommandTransport:
         return self.submit(Command.decode(blob))
 
     # ------------------------------------------------------------------
+    #: opcode -> unbound handler; built once at class definition instead
+    #: of one dict per submitted command (ingest replays submit millions)
+    _HANDLERS = {
+        OP_READ_DB: "_read_db",
+        OP_WRITE_DB: "_write_db",
+        OP_APPEND_DB: "_append_db",
+        OP_LOAD_MODEL: "_load_model",
+        OP_QUERY: "_query",
+        OP_GET_RESULT: "_get_result",
+        OP_SET_QC: "_set_qc",
+    }
+
     def _dispatch(self, command: Command) -> CompletionEntry:
-        handler = {
-            OP_READ_DB: self._read_db,
-            OP_WRITE_DB: self._write_db,
-            OP_APPEND_DB: self._append_db,
-            OP_LOAD_MODEL: self._load_model,
-            OP_QUERY: self._query,
-            OP_GET_RESULT: self._get_result,
-            OP_SET_QC: self._set_qc,
-        }[command.opcode]
+        handler = getattr(self, self._HANDLERS[command.opcode])
         return handler(command)
 
     def _read_db(self, c: Command) -> CompletionEntry:

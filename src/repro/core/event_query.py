@@ -34,11 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.tracer import Tracer
 from repro.core.placement import AcceleratorPlacement, CHANNEL_LEVEL
 from repro.nn.graph import Graph
-from repro.sim import BoundedQueue, Simulator
+from repro.sim import BoundedQueue, Simulator, fastpath
 from repro.ssd.controller import ChannelController
 from repro.ssd.ftl import DatabaseMetadata
 from repro.ssd.timing import SsdConfig
-from repro.ssd.trace import scan_trace
+from repro.ssd.trace import scan_trace, scan_trace_bulk, scan_traces_by_channel
 from repro.workloads.apps import AppSpec
 
 
@@ -146,12 +146,21 @@ class EventQuerySimulator:
             compute_per_page = spf * meta.features_per_page
 
         per_channel_done: Dict[int, float] = {}
-        traces = {
-            ch: list(
-                scan_trace(meta, geo, channel=ch, max_pages=max_pages_per_channel)
+        if fastpath.enabled():
+            # one enumeration + group-by instead of `channels` full
+            # re-enumerations; produces identical PageAccess lists
+            traces = scan_traces_by_channel(
+                meta, geo, max_pages_per_channel=max_pages_per_channel
             )
-            for ch in range(geo.channels)
-        }
+        else:
+            traces = {
+                ch: list(
+                    scan_trace(
+                        meta, geo, channel=ch, max_pages=max_pages_per_channel
+                    )
+                )
+                for ch in range(geo.channels)
+            }
         total_pages = sum(len(t) for t in traces.values())
 
         # a dead channel accelerator loses its compute, not its data:
@@ -380,7 +389,10 @@ def simulate_chip_channel(
     features_per_round = window * geo.chips_per_channel
     weight_bytes = graph.weight_bytes()
 
-    trace = list(scan_trace(meta, geo, channel=channel, max_pages=max_pages))
+    if fastpath.enabled():
+        trace = scan_trace_bulk(meta, geo, channel=channel, max_pages=max_pages)
+    else:
+        trace = list(scan_trace(meta, geo, channel=channel, max_pages=max_pages))
     per_chip = {
         chip: [a for a in trace if a.address.chip == chip]
         for chip in range(geo.chips_per_channel)

@@ -25,6 +25,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.sim import fastpath
+
 
 @dataclass
 class EmbeddingComparator:
@@ -53,6 +55,38 @@ class EmbeddingComparator:
         cos = (e @ q) / denom
         z = self.steepness * (cos - self.midpoint)
         return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+    def score_rows(
+        self, query: np.ndarray, entries64: np.ndarray, norms64: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`score_many` over a pre-converted float64 matrix.
+
+        ``entries64`` must be C-contiguous float64 with per-row norms in
+        ``norms64`` computed by :func:`row_norm64`.  Bit-identical to
+        ``score_many(query, float32_rows)``: the float64 conversion and
+        the row norms are the exact operations score_many performs, just
+        done once at insert instead of on every lookup.
+        """
+        q = query.reshape(-1).astype(np.float64)
+        qn = np.linalg.norm(q)
+        denom = np.maximum(qn * norms64, 1e-12)
+        cos = (entries64 @ q) / denom
+        z = self.steepness * (cos - self.midpoint)
+        # min(max(...)) is bit-equal to np.clip for finite input and
+        # skips the dispatch wrapper this per-lookup path can't afford
+        return 1.0 / (1.0 + np.exp(-np.minimum(np.maximum(z, -60.0), 60.0)))
+
+
+def row_norm64(row64: np.ndarray) -> float:
+    """Norm of one matrix row, via the same reduction as the batch.
+
+    ``np.linalg.norm(matrix, axis=1)`` and ``np.linalg.norm(vector)``
+    use different reduction kernels (``add.reduce`` vs BLAS ``dot``)
+    whose float results can differ in the last ulp; computing the
+    stored norm through the axis-1 path on a 1-row matrix keeps cached
+    norms bit-equal to what a fresh ``score_many`` stack would compute.
+    """
+    return float(np.linalg.norm(row64.reshape(1, -1), axis=1)[0])
 
 
 @dataclass
@@ -114,6 +148,80 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Fast-path lookup matrix: row i holds the float64 QFV of the
+        # i-th entry in dict order, with its norm alongside, so a lookup
+        # is one matrix-vector product instead of stack+convert+norm
+        # over every entry.  Maintained unconditionally (mutations are
+        # rare next to lookups); consulted only when the fast path is
+        # on.  Same floats, same contiguous layout as a fresh
+        # ``np.stack(...).astype(float64)``, so scores are bit-equal.
+        self._fm: Optional[np.ndarray] = None
+        self._fnorm: Optional[np.ndarray] = None
+        self._fm_dim = 0
+        #: cleared on a dimension mismatch — heterogeneous QFVs fall
+        #: back to the stacking path forever (never happens in practice)
+        self._fm_ok = True
+        #: entry keys in dict order, so the fast lookup path never has
+        #: to materialize ``list(self._entries.keys())`` per lookup
+        self._keys: List[int] = []
+
+    # ------------------------------------------------------------------
+    # lookup-matrix maintenance (mirrors every OrderedDict mutation)
+    # ------------------------------------------------------------------
+    def _fm_append(self, qfv32: np.ndarray) -> None:
+        """Add the new last entry's row; called after the dict insert."""
+        if not self._fm_ok:
+            return
+        row = qfv32.reshape(1, -1).astype(np.float64)
+        dim = row.shape[1]
+        if self._fm is None:
+            self._fm = np.empty((self.capacity, dim), dtype=np.float64)
+            self._fnorm = np.empty(self.capacity, dtype=np.float64)
+            self._fm_dim = dim
+        elif dim != self._fm_dim:
+            self._fm_ok = False
+            self._fm = None
+            self._fnorm = None
+            return
+        index = len(self._entries) - 1
+        self._fm[index] = row[0]
+        self._fnorm[index] = row_norm64(row[0])
+
+    def _fm_pop_front(self) -> None:
+        """Drop row 0 (LRU eviction); called before the dict popitem."""
+        if self._fm is None or not self._fm_ok:
+            return
+        n = len(self._entries)
+        self._fm[: n - 1] = self._fm[1:n]
+        self._fnorm[: n - 1] = self._fnorm[1:n]
+
+    def _fm_promote(self, index: int) -> None:
+        """Move row ``index`` to the end (LRU promote on a hit)."""
+        if self._fm is None or not self._fm_ok:
+            return
+        n = len(self._entries)
+        if index >= n - 1:
+            return
+        row = self._fm[index].copy()
+        norm = self._fnorm[index]
+        self._fm[index : n - 1] = self._fm[index + 1 : n]
+        self._fnorm[index : n - 1] = self._fnorm[index + 1 : n]
+        self._fm[n - 1] = row
+        self._fnorm[n - 1] = norm
+
+    def _fm_rebuild(self) -> None:
+        """Re-derive every row from the dict (after bulk invalidation)."""
+        if self._fm is None or not self._fm_ok:
+            return
+        for i, entry in enumerate(self._entries.values()):
+            row = entry.qfv.reshape(1, -1).astype(np.float64)
+            if row.shape[1] != self._fm_dim:
+                self._fm_ok = False
+                self._fm = None
+                self._fnorm = None
+                return
+            self._fm[i] = row[0]
+            self._fnorm[i] = row_norm64(row[0])
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -141,20 +249,34 @@ class QueryCache:
         issued after it.  ``tag=None`` scans every entry (the static,
         pre-ingest behaviour).
         """
+        use_matrix = (
+            tag is None
+            and self._fm is not None
+            and self._fm_ok
+            and fastpath.enabled()
+        )
         if tag is None:
-            keys = list(self._entries.keys())
+            keys = self._keys if use_matrix else list(self._entries.keys())
         else:
             keys = [k for k, e in self._entries.items() if e.tag == tag]
         if not keys:
             self.misses += 1
             return LookupResult(False, None, 0.0, 0)
-        matrix = np.stack([self._entries[k].qfv for k in keys])
-        scores = self.comparator.score_many(qfv, matrix) * self.qcn_accuracy
-        best_index = int(np.argmax(scores))
+        if use_matrix:
+            scores = self.comparator.score_rows(
+                qfv, self._fm[: len(keys)], self._fnorm[: len(keys)]
+            ) * self.qcn_accuracy
+        else:
+            matrix = np.stack([self._entries[k].qfv for k in keys])
+            scores = self.comparator.score_many(qfv, matrix) * self.qcn_accuracy
+        best_index = int(scores.argmax())
         best_score = float(scores[best_index])
         if (1.0 - best_score) <= self.threshold:
             key = keys[best_index]
             entry = self._entries[key]
+            index = best_index if tag is None else self._keys.index(key)
+            self._fm_promote(index)
+            self._keys.append(self._keys.pop(index))
             self._entries.move_to_end(key)  # LRU promote
             self.hits += 1
             return LookupResult(True, entry, best_score, len(keys))
@@ -180,9 +302,13 @@ class QueryCache:
             tag=tag,
         )
         if len(self._entries) >= self.capacity:
+            self._fm_pop_front()
             self._entries.popitem(last=False)
+            del self._keys[0]
         self._entries[self._next_id] = entry
+        self._keys.append(self._next_id)
         self._next_id += 1
+        self._fm_append(entry.qfv)
 
     def invalidate(self, match: Callable[[Optional[Tuple]], bool]) -> int:
         """Drop every entry whose tag satisfies ``match``; return count.
@@ -196,6 +322,9 @@ class QueryCache:
         doomed = [k for k, e in self._entries.items() if match(e.tag)]
         for key in doomed:
             del self._entries[key]
+        if doomed:
+            self._keys = list(self._entries.keys())
+            self._fm_rebuild()
         self.invalidations += len(doomed)
         return len(doomed)
 

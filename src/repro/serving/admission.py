@@ -105,13 +105,18 @@ class AdmissionQueue:
         self.deadline_s = deadline_s
         self.counters = AdmissionCounters()
         self._classes: Dict[int, Deque[QueuedQuery]] = {}
+        #: live depth, maintained incrementally — ``offer`` is called
+        #: once per arrival and ``len(self)`` guards every admission, so
+        #: a sum over class deques would make admission O(classes) per
+        #: query (visible in serving-sweep profiles)
+        self._depth = 0
         #: shed queries this step, surfaced so the server can record
         #: their latency/timeline events; drained by :meth:`take_shed`
         self._shed_log: List[Tuple[QueuedQuery, str]] = []
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(len(q) for q in self._classes.values())
+        return self._depth
 
     @property
     def depth(self) -> int:
@@ -139,6 +144,7 @@ class AdmissionQueue:
                     if now - q.arrival_s > self.deadline_s:
                         self.counters.expired += 1
                         self._shed_log.append((q, "expired"))
+                self._depth -= len(queue) - len(survivors)
                 queue.clear()
                 queue.extend(survivors)
 
@@ -153,6 +159,7 @@ class AdmissionQueue:
             return False
         victim_class = max(candidates)
         victim = self._classes[victim_class].popleft()
+        self._depth -= 1
         self.counters.evicted += 1
         self._shed_log.append((victim, "evicted"))
         return True
@@ -171,6 +178,7 @@ class AdmissionQueue:
                 return False
         self.counters.admitted += 1
         self._classes.setdefault(query.priority, deque()).append(query)
+        self._depth += 1
         return True
 
     def pop(self, now: float) -> Optional[QueuedQuery]:
@@ -180,6 +188,7 @@ class AdmissionQueue:
             queue = self._classes[priority]
             if queue:
                 self.counters.popped += 1
+                self._depth -= 1
                 return queue.popleft()
         return None
 
@@ -207,4 +216,5 @@ class AdmissionQueue:
         ):
             batch.append(queue.popleft())
             self.counters.popped += 1
+            self._depth -= 1
         return batch

@@ -12,8 +12,9 @@ plain callables at absolute simulated times.  This keeps the hot loop cheap
 hundreds of thousands of flash-page events.
 """
 
+from repro.sim import fastpath
 from repro.sim.engine import Event, Simulator
 from repro.sim.queues import BoundedQueue
 from repro.sim.resources import Resource
 
-__all__ = ["Event", "Simulator", "Resource", "BoundedQueue"]
+__all__ = ["Event", "Simulator", "Resource", "BoundedQueue", "fastpath"]

@@ -1,0 +1,196 @@
+"""Simulator-core fast path: switches and precomputed tables.
+
+The discrete-event hot loops — event heap dispatch, per-event scan
+costing, trace enumeration — are pure python; at bench scale they
+dominate wall-clock.  This module is the control point for the *speed*
+refactor that vectorizes them:
+
+* a global **switch** (:func:`enabled`, ``REPRO_FASTPATH`` env var)
+  that the refactored call sites consult.  On: array-backed event heap
+  entries (:class:`~repro.sim.engine.Simulator`), numpy-bulk scan
+  traces (:mod:`repro.ssd.trace`), and memoized per-layer cycle/energy
+  tables (below).  Off: the original per-event code paths, kept intact
+  so the differential suite can assert bit-identical outputs;
+* **cycle tables**: accelerator graph profiles (per-layer systolic
+  cycles) and top-K maintenance costs are pure functions of hashable
+  configuration, recomputed today once per accelerator instance —
+  which serving sweeps and cluster fleets construct per query leg.
+  :func:`profile_table` / :func:`expected_topk_cycles` memoize them so
+  the N-th identical construction costs a dict lookup.
+
+Everything here is a *caching/representation* change only: cached
+values are the same float objects the uncached path would compute, so
+every scorecard leaf stays byte-identical with the fast path on or
+off.  ``tests/test_fastpath_differential.py`` enforces exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from contextlib import contextmanager
+from math import ceil, log, log2
+from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nn.graph import Graph
+    from repro.systolic import GraphProfile
+
+#: environment variable consulted when no explicit override is active
+ENV_VAR = "REPRO_FASTPATH"
+
+#: explicit process-wide override; None defers to the environment
+_forced: Optional[bool] = None
+
+#: lazily cached environment resolution — :func:`enabled` sits on the
+#: per-event hot path, so it cannot afford an ``os.environ`` read per
+#: call.  ``set_enabled(None)`` drops the cache, re-reading the
+#: environment on the next query.
+_env_cached: Optional[bool] = None
+
+
+def _from_env() -> bool:
+    return os.environ.get(ENV_VAR, "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+def enabled() -> bool:
+    """Whether the fast path is active (default: on).
+
+    Resolution order: :func:`set_enabled` override, then the
+    ``REPRO_FASTPATH`` environment variable (``0``/``false``/``off``
+    disable, read once and cached), then on.
+    """
+    if _forced is not None:
+        return _forced
+    global _env_cached
+    if _env_cached is None:
+        _env_cached = _from_env()
+    return _env_cached
+
+
+def set_enabled(on: Optional[bool]) -> Optional[bool]:
+    """Force the fast path on/off (``None`` restores env resolution).
+
+    Returns the previous override so callers can restore it.  Passing
+    ``None`` also invalidates the cached environment lookup, so tests
+    that mutate ``REPRO_FASTPATH`` see the new value.
+    """
+    global _forced, _env_cached
+    previous = _forced
+    _forced = on
+    if on is None:
+        _env_cached = None
+    return previous
+
+
+@contextmanager
+def override(on: Optional[bool]) -> Iterator[None]:
+    """Context manager: run a block with the fast path forced on/off."""
+    previous = set_enabled(on)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# precomputed per-layer cycle tables
+# ----------------------------------------------------------------------
+#: graph -> {config key -> GraphProfile}; weak on the graph so cached
+#: profiles die with the model instead of pinning it forever
+_profiles: "weakref.WeakKeyDictionary[Any, Dict[Hashable, Any]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: (k, n_candidates) -> analytic mean top-K cycles per update
+_topk_cycles: Dict[Tuple[int, int], float] = {}
+
+#: (app name, seed) -> built-and-initialized SCN graph
+_scn_graphs: Dict[Tuple[str, int], Any] = {}
+
+#: cache-effectiveness counters (surfaced by ``repro profile --hotspots``)
+stats = {
+    "profile_hits": 0,
+    "profile_misses": 0,
+    "topk_hits": 0,
+    "graph_hits": 0,
+    "graph_misses": 0,
+}
+
+
+def profile_table(graph: "Graph", key: Hashable, build) -> "GraphProfile":
+    """Memoized per-layer cycle profile for ``graph`` under ``key``.
+
+    ``key`` must capture everything besides the graph that determines
+    the mapping (placement, SSD config, precision, stream window);
+    ``build`` computes the profile on a miss.  The returned object is
+    the *same* one every time, so downstream float arithmetic is
+    byte-identical to recomputing it.
+    """
+    per_graph = _profiles.get(graph)
+    if per_graph is None:
+        per_graph = {}
+        _profiles[graph] = per_graph
+    profile = per_graph.get(key)
+    if profile is None:
+        stats["profile_misses"] += 1
+        profile = build()
+        per_graph[key] = profile
+    else:
+        stats["profile_hits"] += 1
+    return profile
+
+
+def expected_topk_cycles(k: int, n_candidates: int) -> float:
+    """Memoized :meth:`TopKSorter.expected_cycles_per_update`.
+
+    Same closed form, computed once per ``(k, n)`` — the serving and
+    cluster sweeps evaluate it for the same stripe sizes millions of
+    times.
+    """
+    if n_candidates <= 0:
+        raise ValueError("n_candidates must be positive")
+    cached = _topk_cycles.get((k, n_candidates))
+    if cached is not None:
+        stats["topk_hits"] += 1
+        return cached
+    expected_inserts = k * (1 + log(max(1.0, n_candidates / k)))
+    insert_cost = ceil(log2(k)) + k / 2
+    value = 1.0 + min(1.0, expected_inserts / n_candidates) * insert_cost
+    _topk_cycles[(k, n_candidates)] = value
+    return value
+
+
+def scn_graph(app: Any, seed: int = 0) -> "Graph":
+    """Shared deterministic SCN build for ``(app.name, seed)``.
+
+    ``AppSpec.build_scn`` initializes weights from the seed alone, so
+    every build of the same app/seed is identical — and the cost-model
+    call sites (serving sweeps, cluster fleets) treat the graph as
+    read-only.  Sharing one instance both skips the rebuild and keys
+    :func:`profile_table` on the same object, so downstream profiles
+    memoize across server constructions.  Off the fast path this is a
+    plain fresh build.
+    """
+    if not enabled():
+        return app.build_scn(seed=seed)
+    key = (app.name, seed)
+    graph = _scn_graphs.get(key)
+    if graph is None:
+        stats["graph_misses"] += 1
+        graph = app.build_scn(seed=seed)
+        _scn_graphs[key] = graph
+    else:
+        stats["graph_hits"] += 1
+    return graph
+
+
+def clear_tables() -> None:
+    """Drop every memoized table (tests; never needed in production)."""
+    _profiles.clear()
+    _topk_cycles.clear()
+    _scn_graphs.clear()
+    for key in stats:
+        stats[key] = 0

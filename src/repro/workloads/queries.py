@@ -18,6 +18,8 @@ from typing import Iterator, List
 
 import numpy as np
 
+from repro.sim import fastpath
+
 
 class ZipfSampler:
     """Bounded Zipf(alpha) over ranks ``0..n-1`` (rank 0 most popular)."""
@@ -104,6 +106,17 @@ class QueryStream:
         else:
             intents = rng.integers(0, self.n_intents, n_queries)
         centroids = self.centroids()
+        if not self.noise_spread and fastpath.enabled():
+            # one batched draw: Generator.normal fills an (n, dim)
+            # array from the same variate stream as n sequential
+            # (dim,) draws, so every row is bit-equal to the loop below
+            noise = rng.normal(0.0, self.paraphrase_noise, (n_queries, self.dim))
+            qfvs = (centroids[intents] + noise).astype(np.float32)
+            for i in range(n_queries):
+                yield QueryRecord(
+                    qfv=qfvs[i], intent=int(intents[i]), sequence=i
+                )
+            return
         for i in range(n_queries):
             intent = int(intents[i])
             sigma = self.paraphrase_noise

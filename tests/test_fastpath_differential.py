@@ -1,0 +1,45 @@
+"""Differential gate: the fast path changes nothing observable.
+
+Runs the *entire* combined perf-gate scorecard — all five legs, every
+leaf the CI baseline pins — once with the fast path forced on and once
+forced off, and requires byte-identical JSON.  This is the enforcement
+mechanism behind the "speed refactor only" contract: any fastpath
+branch that drifts from the reference implementation fails here before
+it can touch the checked-in baseline.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.sim import fastpath
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import perf_gate  # noqa: E402
+
+
+def _canonical(card) -> str:
+    return json.dumps(card, indent=2, sort_keys=True)
+
+
+def test_combined_scorecard_byte_identical_both_modes():
+    with fastpath.override(False):
+        off = _canonical(perf_gate.build_combined_scorecard())
+    fastpath.clear_tables()
+    with fastpath.override(True):
+        on = _canonical(perf_gate.build_combined_scorecard())
+    assert on == off
+
+
+def test_scorecard_matches_checked_in_baseline():
+    """The fast-path scorecard is the baseline CI diffs against."""
+    baseline_path = (
+        Path(perf_gate.__file__).resolve().parent
+        / "results" / "baseline_scorecard.json"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    fastpath.clear_tables()
+    with fastpath.override(True):
+        card = perf_gate.build_combined_scorecard()
+    assert _canonical(card) == _canonical(baseline)

@@ -1,0 +1,310 @@
+"""Property suite for the wall-clock fast path.
+
+The fast path is a *representation* change with a hard contract: with
+``repro.sim.fastpath`` on or off, every observable — fire order,
+simulated clock, heap bookkeeping counters, scan traces, cycle tables,
+cache scores, merged top-K lists — must be bit-identical.  These
+properties drive the refactored structures against the original code
+as an oracle under Hypothesis-generated interleavings, which is what
+caught the heap-compaction accounting edge the example tests missed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.parallel import scatter_gather_topk
+from repro.core.query_cache import EmbeddingComparator, QueryCache
+from repro.core.topk import TopKSorter, topk_select
+from repro.sim import Simulator, fastpath
+from repro.sim.forkmap import available as fork_available
+from repro.sim.forkmap import fork_map
+from repro.ssd import Ssd
+from repro.ssd.trace import (
+    scan_trace,
+    scan_trace_bulk,
+    scan_traces_by_channel,
+)
+from repro.workloads.queries import QueryStream
+
+# ----------------------------------------------------------------------
+# event-heap oracle: array-backed heap vs the classic Event heap
+# ----------------------------------------------------------------------
+#: one scripted scheduler operation: (kind, argument)
+heap_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"),
+                  st.floats(min_value=0.0, max_value=8.0,
+                            allow_nan=False, allow_infinity=False)),
+        st.tuples(st.just("bulk"),
+                  st.lists(st.floats(min_value=0.0, max_value=8.0,
+                                     allow_nan=False,
+                                     allow_infinity=False),
+                           min_size=0, max_size=6)),
+        st.tuples(st.just("cancel"),
+                  st.integers(min_value=0, max_value=40)),
+        st.tuples(st.just("step"), st.none()),
+        st.tuples(st.just("peek"), st.none()),
+    ),
+    min_size=0, max_size=40,
+)
+
+
+def _drive(fast: bool, ops):
+    """Run one op script; return every observable the contract names."""
+    sim = Simulator(fast=fast)
+    log = []
+    scheduled = []
+    observations = []
+
+    def mk(tag):
+        def cb():
+            log.append((tag, sim.now))
+        return cb
+
+    for kind, arg in ops:
+        if kind == "schedule":
+            scheduled.append(
+                sim.schedule(sim.now + arg, mk(len(scheduled)))
+            )
+        elif kind == "bulk":
+            times = [sim.now + dt for dt in arg]
+            callbacks = [
+                mk(len(scheduled) + i) for i in range(len(arg))
+            ]
+            scheduled.extend(sim.schedule_bulk(times, callbacks))
+        elif kind == "cancel":
+            if scheduled:
+                scheduled[arg % len(scheduled)].cancel()
+        elif kind == "step":
+            observations.append(("step", sim.step(), sim.now))
+        elif kind == "peek":
+            observations.append(("peek", sim.peek()))
+    processed = sim.run()
+    return (
+        log,
+        observations,
+        processed,
+        sim.now,
+        sim.events_processed,
+        sim.pending_events,
+        sim.cancelled_pending,
+        sim.compactions,
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=heap_ops)
+def test_array_heap_matches_classic_heap(ops):
+    """Fire order, clock, and every counter agree op-for-op."""
+    assert _drive(True, ops) == _drive(False, ops)
+
+
+def test_compaction_counts_preserved_exactly():
+    """Mass-cancel interleavings trigger identical compactions.
+
+    The compaction threshold accounting is the regression this pins:
+    both heap representations must compact at the same instants and
+    report the same ``compactions`` / ``cancelled_pending`` counts.
+    """
+    outcomes = []
+    for fast in (True, False):
+        sim = Simulator(fast=fast)
+        fired = []
+        events = [
+            sim.schedule(float(i % 97) / 7.0, lambda i=i: fired.append(i))
+            for i in range(600)
+        ]
+        for i, event in enumerate(events):
+            if i % 3:
+                event.cancel()
+        mid = (sim.compactions, sim.cancelled_pending, sim.pending_events)
+        sim.run()
+        outcomes.append(
+            (mid, fired, sim.compactions, sim.cancelled_pending,
+             sim.events_processed, sim.now)
+        )
+    assert outcomes[0] == outcomes[1]
+    assert outcomes[0][2] > 0  # the sweep actually compacted
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    dts=st.lists(st.floats(min_value=0.0, max_value=5.0,
+                           allow_nan=False, allow_infinity=False),
+                 min_size=0, max_size=30),
+    fast=st.booleans(),
+)
+def test_schedule_bulk_equals_n_schedules(dts, fast):
+    """One bulk call == the equivalent loop of single schedules."""
+    def run(bulk: bool):
+        sim = Simulator(fast=fast)
+        log = []
+        callbacks = [lambda i=i: log.append((i, sim.now))
+                     for i in range(len(dts))]
+        if bulk:
+            sim.schedule_bulk(list(dts), callbacks)
+        else:
+            for dt, callback in zip(dts, callbacks):
+                sim.schedule(dt, callback)
+        processed = sim.run()
+        return log, processed, sim.now, sim.events_processed
+
+    assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------------
+# precomputed cycle tables
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=64),
+    n=st.integers(min_value=1, max_value=200_000),
+)
+def test_expected_topk_cycles_matches_sorter(k, n):
+    """The memo table returns the sorter's closed form, float-exact."""
+    assert fastpath.expected_topk_cycles(k, n) == (
+        TopKSorter(k).expected_cycles_per_update(n)
+    )
+
+
+# ----------------------------------------------------------------------
+# bulk scan traces
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trace_db():
+    ssd = Ssd()
+    meta = ssd.ftl.create_database(1024, 4_000)
+    return meta, ssd.config.geometry
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    channel=st.one_of(st.none(), st.integers(min_value=0, max_value=7)),
+    start=st.integers(min_value=0, max_value=400),
+    window=st.one_of(st.none(), st.integers(min_value=0, max_value=300)),
+)
+def test_scan_trace_bulk_equals_generator(trace_db, channel, start, window):
+    meta, geometry = trace_db
+    if channel is not None and channel >= geometry.channels:
+        channel = channel % geometry.channels
+    expect = list(scan_trace(meta, geometry, channel=channel,
+                             start_page=start, max_pages=window))
+    got = scan_trace_bulk(meta, geometry, channel=channel,
+                          start_page=start, max_pages=window)
+    assert got == expect
+
+
+def test_scan_traces_by_channel_equals_per_channel_scans(trace_db):
+    meta, geometry = trace_db
+    for cap in (None, 0, 5, 10_000):
+        grouped = scan_traces_by_channel(
+            meta, geometry, max_pages_per_channel=cap
+        )
+        assert sorted(grouped) == list(range(geometry.channels))
+        for channel in range(geometry.channels):
+            assert grouped[channel] == list(
+                scan_trace(meta, geometry, channel=channel, max_pages=cap)
+            )
+
+
+# ----------------------------------------------------------------------
+# process-parallel executors
+# ----------------------------------------------------------------------
+def _shard_leg(shard: int):
+    rng = np.random.default_rng(shard)
+    pairs = [(float(s), shard * 1000 + i)
+             for i, s in enumerate(rng.normal(0.0, 1.0, 12))]
+    return pairs, float(shard) * 0.25 + 0.5
+
+
+@pytest.mark.skipif(not fork_available(), reason="no os.fork")
+def test_parallel_scatter_gather_bit_equal():
+    """Forked shard legs == the sequential loop: same floats, order."""
+    shards = list(range(5))
+    seq = scatter_gather_topk(_shard_leg, shards, k=7, processes=1)
+    par = scatter_gather_topk(_shard_leg, shards, k=7, processes=3)
+    assert par.merged == seq.merged
+    assert par.partials == seq.partials
+    assert par.shard_seconds == seq.shard_seconds
+    assert par.stats == seq.stats
+    assert par.processes == 3 and seq.processes == 1
+    # and the merge really is the canonical k-way merge of the partials
+    assert seq.partials == [topk_select(_shard_leg(s)[0], 7) for s in shards]
+
+
+@pytest.mark.skipif(not fork_available(), reason="no os.fork")
+def test_fork_map_orders_and_propagates_errors():
+    assert fork_map(lambda i: i * i, 6, processes=3) == [
+        i * i for i in range(6)
+    ]
+    with pytest.raises(RuntimeError, match="worker 2 failed"):
+        fork_map(lambda i: 1 // (2 - i), 4, processes=2)
+
+
+# ----------------------------------------------------------------------
+# query-cache lookup matrix
+# ----------------------------------------------------------------------
+cache_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("lookup"), st.integers(0, 2**16)),
+        st.tuples(st.just("tagged"), st.integers(0, 2**16)),
+        st.tuples(st.just("invalidate"), st.integers(0, 2)),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=cache_ops, capacity=st.integers(min_value=1, max_value=12))
+def test_query_cache_matrix_equals_stacking(ops, capacity):
+    """The maintained lookup matrix == fresh stack+convert per lookup."""
+    def run(on: bool):
+        with fastpath.override(on):
+            cache = QueryCache(
+                capacity=capacity,
+                comparator=EmbeddingComparator(),
+                threshold=0.25,
+            )
+            out = []
+            for kind, arg in ops:
+                rng = np.random.default_rng(arg)
+                q = rng.normal(0.0, 1.0, 8).astype(np.float32)
+                if kind == "invalidate":
+                    out.append(cache.invalidate(
+                        lambda tag: tag == (arg,) or tag is None
+                    ))
+                    continue
+                tag = (arg % 3,) if kind == "tagged" else None
+                r = cache.lookup(q, tag=tag)
+                out.append((r.hit, r.best_score, r.entries_scanned))
+                if not r.hit:
+                    cache.insert(q, np.zeros(3, np.float32),
+                                 np.arange(3), tag=tag)
+            assert cache._keys == list(cache._entries.keys())
+            return out, cache.hits, cache.misses, cache.invalidations
+
+    assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------------
+# batched query-stream generation
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**10),
+    distribution=st.sampled_from(["uniform", "zipf"]),
+)
+def test_query_stream_batched_noise_bit_equal(n, seed, distribution):
+    """Batched normal draws == the sequential per-query loop."""
+    stream = QueryStream(dim=16, n_intents=9, distribution=distribution,
+                         alpha=0.8, paraphrase_noise=0.05, seed=seed)
+    with fastpath.override(True):
+        fast = stream.generate(n)
+    with fastpath.override(False):
+        slow = stream.generate(n)
+    for a, b in zip(fast, slow):
+        assert a.intent == b.intent and a.sequence == b.sequence
+        assert a.qfv.dtype == b.qfv.dtype
+        assert np.array_equal(a.qfv, b.qfv)
