@@ -5,8 +5,11 @@ Builds the combined perf scorecard — the reproduction scorecard
 (throughput-latency curve, cache point, degraded point), the cluster
 scorecard (shard scaling, failover tax, hedging), the ingest
 scorecard (staleness drift, compaction recovery, write-amplification
-interference), and the recovery scorecard (crash durability, MTTR,
-availability and recall under a scripted chaos day) — and compares
+interference), the recovery scorecard (crash durability, MTTR,
+availability and recall under a scripted chaos day), and the index
+scorecard (IVF recall/latency frontier per accelerator level, build
+cost through the FTL write path, DES-validated operating point) — and
+compares
 it leaf by leaf against the checked-in baseline
 ``benchmarks/results/baseline_scorecard.json`` within a relative
 tolerance (default +/-10%).
@@ -39,9 +42,10 @@ BASELINE_PATH = RESULTS_DIR / "baseline_scorecard.json"
 
 
 def build_combined_scorecard() -> Dict[str, object]:
-    """All five scorecards under stable top-level keys."""
+    """All six scorecards under stable top-level keys."""
     from repro.analysis.scorecard import build_scorecard
     from repro.cluster import build_cluster_scorecard
+    from repro.index.scorecard import build_index_scorecard
     from repro.ingest import build_ingest_scorecard
     from repro.recovery.scorecard import build_recovery_scorecard
     from repro.serving.scorecard import build_serving_scorecard
@@ -52,6 +56,7 @@ def build_combined_scorecard() -> Dict[str, object]:
         "cluster": build_cluster_scorecard(),
         "ingest": build_ingest_scorecard(),
         "recovery": build_recovery_scorecard(),
+        "index": build_index_scorecard(),
     }
 
 

@@ -15,6 +15,7 @@ Small, self-contained runners over the library for the common questions:
 ``serve``      open-loop serving: offered-load sweep or perf scorecard
 ``cluster``    sharded multi-SSD scatter-gather queries / perf scorecard
 ``ingest``     online ingest & data-lifecycle loop / perf scorecard
+``index``      IVF ANN probes: recall/latency Pareto sweep / scorecard
 ``chaos``      scripted fault day: crash recovery + cluster hardening
 ``demo``       a real end-to-end query with planted neighbors
 =============  ==========================================================
@@ -665,6 +666,75 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    """IVF ANN probes over the accelerator hierarchy.
+
+    Builds an inverted-file index over a clustered workload (build cost
+    priced through the page-mapped FTL write path), then sweeps
+    ``nprobe`` per accelerator level: recall@K against the exhaustive
+    scan vs the modelled probe latency, with the operating point
+    re-validated on the event-driven timeline.  ``--scorecard`` emits
+    the index leg of the CI perf gate.
+    """
+    import json
+
+    from repro.index.scorecard import (
+        IndexGateConfig,
+        RECALL_GATE,
+        build_index_scorecard,
+    )
+
+    if args.scorecard:
+        # always machine-readable: this is the artifact CI gates on
+        print(json.dumps(build_index_scorecard(), indent=2, sort_keys=True))
+        return 0
+
+    try:
+        config = IndexGateConfig(
+            app=args.app,
+            n_features=args.features,
+            n_lists=args.lists,
+            k=args.k,
+            n_queries=args.queries,
+            seed=args.seed,
+        )
+        card = build_index_scorecard(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps(card, indent=2, sort_keys=True, default=float))
+        return 0
+
+    build = card["build"]
+    print(f"IVF index: {args.app}, {args.features} rows, "
+          f"{args.lists} lists, seed {args.seed}")
+    print(f"build: {build['total_seconds'] * 1e3:.2f} ms modelled "
+          f"({build['train_seconds'] * 1e3:.2f} train + "
+          f"{build['layout_write_seconds'] * 1e3:.2f} layout, "
+          f"WA {build['write_amplification']:.2f}, "
+          f"{build['region_blocks']} region blocks)")
+    print()
+    print("recall/latency frontier (vs exhaustive scan at the same level):")
+    print("  level    nprobe  recall@k   seconds    speedup")
+    for level, points in card["pareto"].items():
+        for key in sorted(points, key=lambda s: int(s.split("=")[1])):
+            p = points[key]
+            print(f"  {level:8s} {int(key.split('=')[1]):6d}"
+                  f"  {p['recall_at_k']:8.3f}  {p['seconds']:.3e}"
+                  f"  {p['speedup']:8.2f}x")
+    op = card["operating_point"]
+    des = card["des"]
+    print()
+    print(f"operating point (recall >= {RECALL_GATE}): nprobe={op['nprobe']} "
+          f"at {op['level']} level, recall {op['recall_at_k']:.3f}, "
+          f"{op['speedup']:.2f}x analytic")
+    print(f"DES timeline: {des['probed_pages']}/{des['full_pages']} pages "
+          f"scanned, {des['event_speedup']:.2f}x event-time speedup")
+    return 0
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     """Online ingest & data lifecycle: mutate a database while querying.
 
@@ -1230,6 +1300,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the canonical CI perf scorecard (JSON)")
     ingest.add_argument("--json", action="store_true")
 
+    index = sub.add_parser(
+        "index", help="IVF ANN probes: recall/latency Pareto sweep"
+    )
+    index.add_argument("--app", default="textqa",
+                       choices=["reid", "mir", "estp", "tir", "textqa"])
+    index.add_argument("--features", type=int, default=65536,
+                       help="database rows in the clustered workload")
+    index.add_argument("--lists", type=int, default=32,
+                       help="inverted lists (k-means centroids)")
+    index.add_argument("--k", type=int, default=10)
+    index.add_argument("--queries", type=int, default=4,
+                       help="probe queries averaged per sweep point")
+    index.add_argument("--seed", type=int, default=7)
+    index.add_argument("--scorecard", action="store_true",
+                       help="emit the index leg of the CI perf gate (JSON)")
+    index.add_argument("--json", action="store_true")
+
     chaos = sub.add_parser(
         "chaos", help="scripted fault day: crashes, kills, recovery"
     )
@@ -1312,6 +1399,7 @@ COMMANDS = {
     "serve": _cmd_serve,
     "cluster": _cmd_cluster,
     "ingest": _cmd_ingest,
+    "index": _cmd_index,
     "chaos": _cmd_chaos,
     "explain": _cmd_explain,
     "slo": _cmd_slo,

@@ -60,6 +60,12 @@ class QueryResult:
     #: DMA time for getResults to copy the top-K (feature vectors +
     #: ObjectIDs) to host memory (paper §4.2)
     transfer_seconds: float = 0.0
+    #: index-layer annotations (zero on the exhaustive-scan path):
+    #: centroid-routing time already included in the latency's engine
+    #: share, rows the probe actually scanned, and the nprobe used
+    routing_seconds: float = 0.0
+    probed_rows: int = 0
+    nprobe: int = 0
 
     @property
     def k(self) -> int:
@@ -393,6 +399,35 @@ class DeepStoreDevice:
         ids = np.asarray(best_ids, dtype=np.int64)[order]
         scores = np.asarray(best_scores, dtype=np.float32)[order]
         return ids, scores
+
+    def _scan_ids(
+        self,
+        graph: Graph,
+        qfv: np.ndarray,
+        store: np.ndarray,
+        ids: np.ndarray,
+        k: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Chunked functional SCN scan over explicit row ids.
+
+        Mirrors :meth:`_scan` operation for operation — same chunk
+        boundaries, same per-chunk ``argpartition``, same closing
+        ``argsort`` — so when ``ids == arange(start, end)`` the output
+        is bit-identical to ``_scan(graph, qfv, store, start, end, k)``.
+        """
+        best_ids: List[int] = []
+        best_scores: List[float] = []
+        for chunk_start in range(0, len(ids), self.SCAN_CHUNK):
+            chunk_ids = ids[chunk_start : chunk_start + self.SCAN_CHUNK]
+            scores = self._score_features(graph, qfv, store[chunk_ids])
+            take = min(k, len(scores))
+            top = np.argpartition(-scores, take - 1)[:take]
+            best_ids.extend(chunk_ids[top].tolist())
+            best_scores.extend(scores[top].tolist())
+        order = np.argsort(-np.asarray(best_scores))[:k]
+        out_ids = np.asarray(best_ids, dtype=np.int64)[order]
+        out_scores = np.asarray(best_scores, dtype=np.float32)[order]
+        return out_ids, out_scores
 
     def _score_features(
         self, graph: Graph, qfv: np.ndarray, features: np.ndarray

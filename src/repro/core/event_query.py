@@ -23,7 +23,7 @@ correctly at degraded speed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.accelerator import InStorageAccelerator
 from repro.core.engine import DispatchPolicy, QueryEngine
@@ -114,8 +114,14 @@ class EventQuerySimulator:
         policy: Optional[DispatchPolicy] = None,
         tracer: Optional["Tracer"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        page_offsets: Optional[Sequence[int]] = None,
     ) -> EventQueryResult:
         """Simulate one query over every channel; returns measured times.
+
+        ``page_offsets`` restricts the scan to those db page offsets —
+        the index layer's routed probe on the DES timeline (only the
+        probed lists' pages stream off flash).  ``None`` scans the full
+        database, bit-identical to the pre-index behaviour.
 
         With ``injector`` set, faults perturb the event timeline (read
         retries, CRC re-transfers, lost pages on dead chips) and dead
@@ -160,6 +166,12 @@ class EventQuerySimulator:
                     )
                 )
                 for ch in range(geo.channels)
+            }
+        if page_offsets is not None:
+            wanted = set(int(o) for o in page_offsets)
+            traces = {
+                ch: [a for a in trace if a.db_page_offset in wanted]
+                for ch, trace in traces.items()
             }
         total_pages = sum(len(t) for t in traces.values())
 
@@ -356,6 +368,7 @@ def simulate_chip_channel(
     max_pages: int = 256,
     queue_depth: int = 4,
     tracer: Optional["Tracer"] = None,
+    page_offsets: Optional[Sequence[int]] = None,
 ) -> ChipChannelResult:
     """Event-driven scan of one channel at the **chip** level.
 
@@ -393,6 +406,9 @@ def simulate_chip_channel(
         trace = scan_trace_bulk(meta, geo, channel=channel, max_pages=max_pages)
     else:
         trace = list(scan_trace(meta, geo, channel=channel, max_pages=max_pages))
+    if page_offsets is not None:
+        wanted = set(int(o) for o in page_offsets)
+        trace = [a for a in trace if a.db_page_offset in wanted]
     per_chip = {
         chip: [a for a in trace if a.address.chip == chip]
         for chip in range(geo.chips_per_channel)

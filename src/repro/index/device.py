@@ -1,0 +1,294 @@
+"""``IndexedDevice``: a drop-in query backend with IVF routing.
+
+Subclasses :class:`repro.ingest.device.LifecycleDevice`, so one device
+speaks every layer: static queries, live mutation, and now routed
+probes.  The contract that keeps the base reproduction honest:
+
+* ``index_mode="off"`` (or no index built) delegates **every** query to
+  the inherited path — byte-identical results, latencies, and cache
+  behaviour; the index layer costs nothing until it is switched on.
+* At ``nprobe == n_lists`` the probe degenerates to the exhaustive
+  scan: routing is skipped (0.0 s), the probed ids are exactly
+  ``arange(db_start, db_end)``, and the functional scan mirrors
+  :meth:`~repro.core.api.DeepStoreDevice._scan` operation for
+  operation — so ids, scores, *and* seconds are bit-identical
+  (the differential oracle pins this down per accelerator level).
+* Mutations degrade recall honestly: rows inserted after the build are
+  the **unindexed delta**; ``include_delta=True`` (default) scans them
+  alongside the probed lists (buying recall back at delta-scan cost),
+  tombstoned rows stay in the lists — and keep costing flash reads —
+  until :meth:`compact_db` reclaims them and triggers a re-index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.api import DeepStoreApiError, QueryHandle
+from repro.index.build import IndexBuildConfig, IvfIndex, build_ivf_index
+from repro.index.router import CentroidRouter
+from repro.ingest.device import DeviceCompaction, LifecycleDevice
+
+
+class IndexedDevice(LifecycleDevice):
+    """``LifecycleDevice`` + IVF probe routing, one subclass."""
+
+    def __init__(self, *args, index_mode: str = "ivf", **kwargs):
+        if index_mode not in ("ivf", "off"):
+            raise DeepStoreApiError(
+                f"unknown index_mode {index_mode!r}; choose 'ivf' or 'off'"
+            )
+        super().__init__(*args, **kwargs)
+        self.index_mode = index_mode
+        self._indexes: Dict[int, IvfIndex] = {}
+        self._index_models: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # build / inspect
+    # ------------------------------------------------------------------
+    def build_index(
+        self,
+        db_id: int,
+        model_id: int,
+        n_lists: int,
+        iterations: int = 8,
+        seed: int = 0,
+        config: Optional[IndexBuildConfig] = None,
+    ) -> IvfIndex:
+        """Train + lay out an IVF index over the database's visible rows."""
+        graph = self._models.get(model_id)
+        if graph is None:
+            raise DeepStoreApiError(f"unknown model id {model_id}")
+        store = self._store(db_id)
+        meta = self.ssd.ftl.get(db_id)
+        state = self._lifecycles.get(db_id)
+        if state is not None:
+            snap = state.store.snapshot()
+            ids = np.asarray(state.store.visible_ids(snap), dtype=np.int64)
+            boundary = snap.n_rows
+        else:
+            ids = np.arange(len(store), dtype=np.int64)
+            boundary = len(store)
+        if len(ids) == 0:
+            raise DeepStoreApiError(f"database {db_id} has no visible rows")
+        cfg = config or IndexBuildConfig(
+            n_lists=n_lists, iterations=iterations, seed=seed
+        )
+        index = build_ivf_index(
+            self.ssd,
+            self._system("ssd"),
+            graph,
+            store[ids],
+            ids,
+            meta,
+            cfg,
+            boundary=boundary,
+            epoch=self._db_epochs.get(db_id, 0),
+        )
+        self._indexes[db_id] = index
+        self._index_models[db_id] = model_id
+        if state is not None:
+            state.write_seconds += index.report.total_seconds
+        self.metrics.counter("index.builds").inc()
+        return index
+
+    def index_for(self, db_id: int) -> IvfIndex:
+        """The database's built index, or raise if none exists."""
+        index = self._indexes.get(db_id)
+        if index is None:
+            raise DeepStoreApiError(
+                f"database {db_id} has no index (call build_index)"
+            )
+        return index
+
+    def indexed(self, db_id: int) -> bool:
+        """Whether the database has a built index."""
+        return db_id in self._indexes
+
+    def delta_rows(self, db_id: int) -> int:
+        """Visible rows the index does not cover (the unindexed delta)."""
+        index = self.index_for(db_id)
+        state = self._lifecycles.get(db_id)
+        if state is None:
+            return max(0, len(self._store(db_id)) - index.boundary)
+        snap = state.store.snapshot()
+        visible = state.store.visible_ids(snap)
+        return int(np.count_nonzero(visible >= index.boundary))
+
+    # ------------------------------------------------------------------
+    # query (routed path)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        qfv: np.ndarray,
+        k: int,
+        model_id: int,
+        db_id: int,
+        db_start: int = 0,
+        db_end: Optional[int] = None,
+        accel_level: Optional[str] = None,
+        nprobe: Optional[int] = None,
+        include_delta: bool = True,
+    ) -> QueryHandle:
+        if self.index_mode != "ivf" or db_id not in self._indexes:
+            # zero-index parity: the inherited path, byte for byte
+            return super().query(
+                qfv, k, model_id, db_id, db_start, db_end, accel_level
+            )
+        return self._query_indexed(
+            qfv, k, model_id, db_id, db_start, db_end, accel_level,
+            nprobe, include_delta,
+        )
+
+    def _query_indexed(
+        self,
+        qfv: np.ndarray,
+        k: int,
+        model_id: int,
+        db_id: int,
+        db_start: int,
+        db_end: Optional[int],
+        accel_level: Optional[str],
+        nprobe: Optional[int],
+        include_delta: bool,
+    ) -> QueryHandle:
+        if k <= 0:
+            raise DeepStoreApiError("K must be positive")
+        graph = self._models.get(model_id)
+        if graph is None:
+            raise DeepStoreApiError(f"unknown model id {model_id}")
+        store = self._store(db_id)
+        meta = self.ssd.ftl.get(db_id)
+        db_end = len(store) if db_end is None else db_end
+        if not 0 <= db_start < db_end <= len(store):
+            raise DeepStoreApiError(f"bad db range [{db_start}, {db_end})")
+        level = accel_level or self.level
+        system = self._system(level)
+        if not system.supports(graph):
+            raise DeepStoreApiError(
+                f"model {graph.name!r} is not supported at the {level} level"
+            )
+        qfv = np.asarray(qfv, dtype=np.float32).reshape(-1)
+        if qfv.size * 4 != meta.feature_bytes:
+            raise DeepStoreApiError(
+                f"QFV size {qfv.size * 4} bytes does not match database "
+                f"feature size {meta.feature_bytes}"
+            )
+
+        index = self._indexes[db_id]
+        if nprobe is None:
+            nprobe = max(1, index.n_lists // 4)
+
+        cache_hit = False
+        cache_tag = (db_id, self._db_epochs.get(db_id, 0))
+        if self._cache is not None:
+            lookup = self._cache.lookup(qfv, tag=cache_tag)
+            if lookup.hit and lookup.entry is not None:
+                candidates = lookup.entry.topk_feature_ids
+                scores = self._score_features(graph, qfv, store[candidates])
+                order = np.argsort(-scores)[:k]
+                result = self._build_result(
+                    meta, candidates[order], scores[order],
+                    self._hit_latency(graph, meta, lookup.entries_scanned, k),
+                    cache_hit=True,
+                )
+                return self._register(result)
+
+        # route at SSD level, then scan the probed lists (+ delta)
+        router = CentroidRouter(
+            index.centroids, self._system("ssd"), graph,
+            feature_bytes=meta.feature_bytes, page_bytes=meta.page_bytes,
+        )
+        decision = router.route(qfv, nprobe, self._score_features)
+        probed = index.lists.probed_ids(decision.list_ids)
+        probed = probed[(probed >= db_start) & (probed < db_end)]
+
+        state = self._lifecycles.get(db_id)
+        mutated = state is not None and state.store.epoch > 0
+        # probed rows cost flash reads whether alive or tombstoned —
+        # dead rows keep their list slots until compaction re-indexes
+        scanned_cost = len(probed)
+        if mutated:
+            snap = state.store.snapshot()
+            visible = state.store.visible_ids(snap)
+            probed = probed[np.isin(probed, visible)]
+            if include_delta:
+                delta = visible[visible >= index.boundary]
+                delta = delta[(delta >= db_start) & (delta < db_end)]
+                probed = np.concatenate([probed, delta])
+                scanned_cost += len(delta)
+        if len(probed) == 0:
+            raise DeepStoreApiError(
+                f"probe returned no candidates in range [{db_start}, {db_end})"
+            )
+        ids, scores = self._scan_ids(graph, qfv, store, probed, k)
+
+        sliced = self._sliced_meta(meta, max(1, scanned_cost))
+        if self._failed_accels:
+            count = system.placement.count(system.ssd)
+            bad = {i for i in self._failed_accels if i < count}
+            if len(bad) >= count:
+                raise DeepStoreApiError(
+                    "all accelerators failed; no degraded mode possible"
+                )
+            latency = system.degraded_latency_for(
+                graph,
+                sliced,
+                feature_bytes=meta.feature_bytes,
+                failed_accels=bad,
+                name=graph.name,
+            ).degraded
+        else:
+            latency = system.latency_for(
+                graph, sliced, feature_bytes=meta.feature_bytes, name=graph.name
+            )
+        if mutated:
+            latency = self._interfered(latency)
+        if decision.routing_seconds > 0.0:
+            latency = dataclasses.replace(
+                latency,
+                engine_seconds=latency.engine_seconds + decision.routing_seconds,
+            )
+        if self._cache is not None:
+            self._cache.insert(qfv, scores, ids, tag=cache_tag)
+            lookup_cost = len(self._cache) * self._cache_lookup_seconds_per_entry
+            latency = dataclasses.replace(
+                latency, engine_seconds=latency.engine_seconds + lookup_cost
+            )
+        result = self._build_result(meta, ids, scores, latency, cache_hit)
+        result = dataclasses.replace(
+            result,
+            routing_seconds=decision.routing_seconds,
+            probed_rows=int(scanned_cost),
+            nprobe=decision.nprobe,
+        )
+        self.metrics.counter("index.queries").inc()
+        return self._register(result)
+
+    # ------------------------------------------------------------------
+    # compaction-triggered re-indexing
+    # ------------------------------------------------------------------
+    def compact_db(self, db_id: int) -> DeviceCompaction:
+        """Compact, then rebuild the index over the surviving rows."""
+        outcome = super().compact_db(db_id)
+        if self.index_mode != "ivf" or db_id not in self._indexes:
+            return outcome
+        old = self._indexes[db_id]
+        rebuilt = self.build_index(
+            db_id,
+            self._index_models[db_id],
+            old.config.n_lists,
+            iterations=old.config.iterations,
+            seed=old.config.seed,
+            config=old.config,
+        )
+        self.metrics.counter("index.reindexes").inc()
+        return DeviceCompaction(
+            seconds=outcome.seconds + rebuilt.report.total_seconds,
+            reclaimed_rows=outcome.reclaimed_rows,
+            rewritten_rows=outcome.rewritten_rows,
+            write_amplification=outcome.write_amplification,
+        )

@@ -1,0 +1,108 @@
+"""Centroid probe routing, scored by the SCN at the SSD level.
+
+The SCN is a learned, non-metric comparator, so geometric
+nearest-centroid routing would be uncorrelated with the ranking the
+scan actually produces.  The router therefore scores the **centroid
+table with the query's own SCN** — the same trick
+:class:`repro.ingest.compaction.DeltaAwareSearch` uses — and probes the
+``nprobe`` best lists under the canonical ``(-score, list_id)`` order.
+
+Cost model: the centroid table is tiny and lives in SSD DRAM next to
+the database metadata, so routing is priced as an SSD-level accelerator
+pass over ``n_lists`` features.  At ``nprobe >= n_lists`` routing is a
+no-op — every list is probed regardless of centroid order — and costs
+exactly ``0.0`` seconds, which is what keeps the full-probe path
+bit-identical to the exhaustive scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.deepstore import DeepStoreSystem
+from repro.nn.graph import Graph
+from repro.ssd.ftl import DatabaseMetadata
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Which lists one query probes, and what deciding cost."""
+
+    list_ids: np.ndarray
+    nprobe: int
+    routing_seconds: float
+    #: SCN scores of every centroid (``None`` on the full-probe shortcut)
+    centroid_scores: Optional[np.ndarray] = None
+
+    @property
+    def full_probe(self) -> bool:
+        return self.centroid_scores is None
+
+
+class CentroidRouter:
+    """Route queries to inverted lists via SCN-scored centroids."""
+
+    def __init__(
+        self,
+        centroids: np.ndarray,
+        system: DeepStoreSystem,
+        graph: Graph,
+        feature_bytes: int,
+        page_bytes: int = 16 * 1024,
+    ):
+        self.centroids = np.asarray(centroids, dtype=np.float32)
+        self.system = system
+        self.graph = graph
+        self.feature_bytes = feature_bytes
+        self.page_bytes = page_bytes
+
+    @property
+    def n_lists(self) -> int:
+        return len(self.centroids)
+
+    def routing_seconds(self) -> float:
+        """SSD-level accelerator pass over the centroid table."""
+        centroid_meta = DatabaseMetadata(
+            db_id=0,
+            feature_bytes=self.feature_bytes,
+            feature_count=self.n_lists,
+            page_bytes=self.page_bytes,
+        )
+        centroid_meta.extents = []
+        return self.system.latency_for(
+            self.graph,
+            centroid_meta,
+            feature_bytes=self.feature_bytes,
+            name=self.graph.name,
+        ).total_seconds
+
+    def route(
+        self,
+        qfv: np.ndarray,
+        nprobe: int,
+        score_fn: Callable[[Graph, np.ndarray, np.ndarray], np.ndarray],
+    ) -> RoutingDecision:
+        """Pick ``nprobe`` lists for one query.
+
+        ``score_fn(graph, qfv, rows)`` is the device's SCN scorer, so
+        centroids are ranked by exactly the comparator the scan uses.
+        """
+        nprobe = max(1, min(int(nprobe), self.n_lists))
+        if nprobe >= self.n_lists:
+            return RoutingDecision(
+                list_ids=np.arange(self.n_lists, dtype=np.int64),
+                nprobe=self.n_lists,
+                routing_seconds=0.0,
+            )
+        scores = np.asarray(score_fn(self.graph, qfv, self.centroids))
+        # stable sort on -score = canonical (-score, list_id) tie-break
+        order = np.argsort(-scores, kind="stable")[:nprobe]
+        return RoutingDecision(
+            list_ids=np.sort(order).astype(np.int64),
+            nprobe=nprobe,
+            routing_seconds=self.routing_seconds(),
+            centroid_scores=scores,
+        )

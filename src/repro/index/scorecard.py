@@ -1,0 +1,167 @@
+"""The index leg of the CI perf gate.
+
+:func:`build_index_scorecard` builds one IVF index over a clustered
+TextQA workload, sweeps the full (level × nprobe) Pareto frontier, and
+replays the operating point — the smallest ``nprobe`` whose recall@K
+clears the gate threshold — on the DES timeline.  Everything is
+deterministic in the seed, so the emitted card is bit-stable and
+``benchmarks/perf_gate.py`` can diff it against the committed baseline
+with the standard ±tolerance rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.index.device import IndexedDevice
+from repro.index.sweep import des_validation, sweep_pareto
+from repro.workloads import (
+    FeatureDatasetSpec,
+    get_app,
+    make_clustered_features,
+    plant_neighbors,
+    train_scn,
+)
+
+#: recall@K the operating point must clear (the acceptance gate)
+RECALL_GATE = 0.95
+
+
+@dataclass(frozen=True)
+class IndexGateConfig:
+    """The gate workload: small enough for CI, clustered enough that
+    routing has real structure to exploit."""
+
+    app: str = "textqa"
+    n_features: int = 65536
+    n_intents: int = 32
+    n_lists: int = 32
+    nprobes: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+    levels: Tuple[str, ...] = ("ssd", "channel", "chip")
+    k: int = 10
+    n_queries: int = 4
+    #: planted close neighbors per query (> k so the exhaustive top-K
+    #: is dominated by rows that cluster together)
+    planted: int = 16
+    iterations: int = 6
+    seed: int = 7
+
+
+GATE_CONFIG = IndexGateConfig()
+
+
+def make_index_workload(
+    config: IndexGateConfig = GATE_CONFIG,
+) -> Tuple[np.ndarray, list]:
+    """Clustered features plus queries anchored at intent centers.
+
+    Each query is a perturbed empirical cluster center with ``planted``
+    tight neighbors planted around it — so the exhaustive top-K
+    concentrates in one k-means list and routing has a right answer.
+    """
+    app = get_app(config.app)
+    rng = np.random.default_rng(config.seed)
+    spec = FeatureDatasetSpec(
+        n_features=config.n_features,
+        dim=app.feature_floats,
+        n_intents=config.n_intents,
+        seed=config.seed,
+    )
+    features, labels = make_clustered_features(spec)
+    queries = []
+    for q in range(config.n_queries):
+        label = q % config.n_intents
+        center = features[labels == label].mean(axis=0)
+        anchor = (center + rng.normal(0, 0.05, center.shape)).astype(np.float32)
+        features, _ = plant_neighbors(
+            features, anchor, k=config.planted, noise=0.05,
+            seed=config.seed + 1 + q,
+        )
+        queries.append(anchor)
+    return features, queries
+
+
+def build_index_scorecard(
+    config: Optional[IndexGateConfig] = None,
+) -> Dict[str, object]:
+    """Build, sweep, and DES-validate; emit the perf-gate leg."""
+    config = config or GATE_CONFIG
+    app = get_app(config.app)
+    graph = train_scn(app, seed=0)
+    features, queries = make_index_workload(config)
+
+    device = IndexedDevice(level="channel")
+    db = device.write_db(features)
+    model = device.load_graph(graph)
+    index = device.build_index(
+        db, model, config.n_lists,
+        iterations=config.iterations, seed=config.seed,
+    )
+
+    points = sweep_pareto(
+        device, db, model, queries,
+        k=config.k, nprobes=config.nprobes, levels=config.levels,
+    )
+    pareto: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for p in points:
+        pareto.setdefault(p.level, {})[f"nprobe={p.nprobe}"] = {
+            "recall_at_k": p.recall_at_k,
+            "seconds": p.seconds,
+            "routing_seconds": p.routing_seconds,
+            "probed_rows": p.probed_rows,
+            "speedup": p.speedup,
+        }
+
+    # operating point: smallest nprobe clearing the recall gate at the
+    # device's own (channel) level
+    channel_points = [p for p in points if p.level == "channel"]
+    operating = None
+    for p in sorted(channel_points, key=lambda p: p.nprobe):
+        if p.recall_at_k >= RECALL_GATE:
+            operating = p
+            break
+    if operating is None:  # pragma: no cover - workload regression guard
+        operating = max(channel_points, key=lambda p: p.recall_at_k)
+
+    des = des_validation(
+        device, db, app, queries[0], model, nprobe=operating.nprobe
+    )
+
+    return {
+        "build": {
+            "train_seconds": index.report.train_seconds,
+            "layout_write_seconds": index.report.layout_write_seconds,
+            "total_seconds": index.report.total_seconds,
+            "write_amplification": index.report.write_amplification,
+            "region_blocks": index.report.region_blocks,
+            "rows": index.report.rows,
+            "list_size_max": max(index.lists.sizes),
+            "list_size_min": min(index.lists.sizes),
+        },
+        "pareto": pareto,
+        "operating_point": {
+            "level": operating.level,
+            "nprobe": operating.nprobe,
+            "recall_at_k": operating.recall_at_k,
+            "speedup": operating.speedup,
+        },
+        "des": {
+            "nprobe": des.nprobe,
+            "full_seconds": des.full_seconds,
+            "probed_seconds": des.probed_seconds,
+            "full_pages": des.full_pages,
+            "probed_pages": des.probed_pages,
+            "event_speedup": des.speedup,
+        },
+        "meta": {
+            "app": config.app,
+            "n_features": config.n_features,
+            "n_lists": config.n_lists,
+            "k": config.k,
+            "queries": config.n_queries,
+            "seed": config.seed,
+        },
+    }

@@ -58,6 +58,44 @@ class WriteOp:
         return self.host_seconds + self.gc_seconds
 
 
+def region_blocks_for(
+    rows: int,
+    feature_bytes: int,
+    page_bytes: int,
+    pages_per_block: int = 64,
+    op_fraction: float = 0.07,
+    headroom: float = 2.0,
+    min_blocks: int = 64,
+) -> int:
+    """Erase blocks an ingest region needs to hold ``rows`` with headroom.
+
+    The region audit: a fixed ``blocks=64`` region holds ~3968 logical
+    pages, so any workload scaled past that (``--bench-scale``, large
+    index builds) exhausts logical space mid-write and dies with
+    :class:`IngestError` instead of running slower.  This helper applies
+    the same arithmetic :class:`IngestWritePath` uses — packing rows
+    into pages, then carving logical space out of
+    ``blocks * pages_per_block`` after over-provisioning — and doubles
+    the block count until the region holds ``headroom``× the rows'
+    pages, so GC still has invalid pages to feed on at any scale.
+    """
+    if rows <= 0:
+        raise IngestError("rows must be positive")
+    if headroom < 1.0:
+        raise IngestError("headroom must be at least 1.0")
+    rows_per_page = max(1, page_bytes // feature_bytes)
+    pages_needed = -(-rows // rows_per_page)
+    blocks = max(4, min_blocks)
+    while True:
+        capacity = blocks * pages_per_block
+        logical = min(
+            int(capacity * (1 - op_fraction)), capacity - 2 * pages_per_block
+        )
+        if logical >= headroom * pages_needed:
+            return blocks
+        blocks *= 2
+
+
 class IngestWritePath:
     """Feature-row mutations over a :class:`PageMappedFtl`.
 

@@ -95,10 +95,24 @@ class ServingConfig:
     fail_shards: Tuple = ()
     #: rows one ingest arrival writes (sizes the write service time)
     ingest_rows_per_op: int = 32
+    #: IVF index over the database: 0 disables (exhaustive scans, the
+    #: pre-index behaviour, byte for byte); > 0 prices each scan over
+    #: the probed fraction ``index_nprobe / index_lists`` of the rows
+    #: plus a per-query SSD-level centroid-routing pass
+    index_lists: int = 0
+    index_nprobe: int = 0
 
     def __post_init__(self) -> None:
         if self.ingest_rows_per_op <= 0:
             raise ValueError("ingest_rows_per_op must be positive")
+        if self.index_lists < 0:
+            raise ValueError("index_lists cannot be negative")
+        if self.index_lists > 0 and not 0 < self.index_nprobe <= self.index_lists:
+            raise ValueError(
+                "index_nprobe must be in [1, index_lists] when indexed"
+            )
+        if self.index_lists == 0 and self.index_nprobe != 0:
+            raise ValueError("index_nprobe needs index_lists > 0")
         if self.features <= 0:
             raise ValueError("features must be positive")
         if self.n_servers <= 0:
@@ -114,6 +128,11 @@ class ServingConfig:
     def clustered(self) -> bool:
         """Whether batches are priced against a sharded deployment."""
         return self.n_shards > 1 or self.n_replicas > 1 or bool(self.fail_shards)
+
+    @property
+    def indexed(self) -> bool:
+        """Whether scans are priced over an IVF probe."""
+        return self.index_lists > 0
 
 
 @dataclass
@@ -217,6 +236,28 @@ class QueryServer:
         self.meta = ssd.ftl.create_database(
             self.app.feature_bytes, config.features
         )
+        # IVF serving: scans are priced over the probed fraction of the
+        # rows, and every query pays one SSD-level routing pass over the
+        # centroid table before its batch is formed
+        self.routing_seconds_per_query = 0.0
+        scan_meta = self.meta
+        if config.indexed:
+            probed = max(
+                1, -(-config.features * config.index_nprobe // config.index_lists)
+            )
+            scan_meta = ssd.ftl.create_database(self.app.feature_bytes, probed)
+            ssd_system = DeepStoreSystem.at_level("ssd", ssd=self.system.ssd)
+            centroid_meta = ssd.ftl.create_database(
+                self.app.feature_bytes, config.index_lists
+            )
+            graph = fastpath.scn_graph(self.app)
+            if config.index_nprobe < config.index_lists:
+                self.routing_seconds_per_query = ssd_system.latency_for(
+                    graph,
+                    centroid_meta,
+                    feature_bytes=self.app.feature_bytes,
+                    name=graph.name,
+                ).total_seconds
         # ingest service time: one write op streams ingest_rows_per_op
         # rows through the host-write path; writes never batch with
         # queries (INGEST_COMPAT) and serialize on a backend like a scan
@@ -235,7 +276,7 @@ class QueryServer:
 
             self.cost = ClusterBatchCostModel(
                 self.app,
-                self.meta,
+                scan_meta,
                 cluster=ClusterConfig(
                     n_shards=config.n_shards,
                     n_replicas=config.n_replicas,
@@ -252,7 +293,7 @@ class QueryServer:
         else:
             self.cost = BatchCostModel(
                 self.app,
-                self.meta,
+                scan_meta,
                 system=self.system,
                 policy=BatchPolicy(config.max_batch),
                 graph=self.graph,
@@ -455,6 +496,10 @@ class QueryServer:
                     service = self.ingest_op_seconds * len(batch)
                 else:
                     service = self.cost.service_seconds(len(batch))
+                    if self.routing_seconds_per_query > 0.0:
+                        # each member routed independently before the
+                        # shared probe scan
+                        service += self.routing_seconds_per_query * len(batch)
                 start = sim.now
                 batch_sizes.append(len(batch))
                 state.busy_s += service

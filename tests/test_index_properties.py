@@ -1,0 +1,198 @@
+"""Property suite for the IVF index layer.
+
+Hypothesis pins the four invariants the index rests on:
+
+* **membership** — every id a routed query returns came from a probed
+  list (or the unindexed delta when mutations are live);
+* **monotone recall** — widening ``nprobe`` never loses a result: the
+  number of returned scores clearing the exact k-th best score is
+  non-decreasing in ``nprobe``, and the full probe recovers all of them
+  (score-based, so it holds under any id tie-break);
+* **canonical assignment** — k-means assigns each row to the argmin
+  centroid under the canonical ``(-score, id)`` tie-break, with exact
+  ties always resolving to the lowest list id;
+* **lifecycle safety** — arbitrary build / insert / delete / compact
+  interleavings never surface a tombstoned id from a routed query.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.index import CentroidRouter, IndexedDevice, assign_canonical
+from repro.index.kmeans import centroid_scores, train_kmeans
+from repro.workloads import get_app
+
+APP = get_app("textqa")
+DIM = APP.feature_floats
+GRAPH = APP.build_scn(seed=1)
+N = 96
+N_LISTS = 8
+NPROBES = (1, 2, 4, 8)
+
+
+def _build_shared():
+    """One read-only indexed device shared by the query properties."""
+    rng = np.random.default_rng(11)
+    device = IndexedDevice()
+    db = device.write_db(rng.normal(0, 1, (N, DIM)).astype(np.float32))
+    model = device.load_graph(GRAPH)
+    index = device.build_index(db, model, N_LISTS, iterations=4, seed=3)
+    return device, db, model, index
+
+
+DEVICE, DB, MODEL, INDEX = _build_shared()
+META = DEVICE.ssd.ftl.get(DB)
+
+
+def _route(probe, nprobe):
+    """Recompute the routing decision exactly as the query path does."""
+    router = CentroidRouter(
+        INDEX.centroids, DEVICE._system("ssd"), GRAPH,
+        feature_bytes=META.feature_bytes, page_bytes=META.page_bytes,
+    )
+    qfv = np.asarray(probe, dtype=np.float32).reshape(-1)
+    return router.route(qfv, nprobe, DEVICE._score_features)
+
+
+# ----------------------------------------------------------------------
+# membership: returned ids ⊆ probed lists
+# ----------------------------------------------------------------------
+@given(
+    qseed=st.integers(min_value=0, max_value=2**16),
+    nprobe=st.integers(min_value=1, max_value=N_LISTS),
+    k=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=120, deadline=None)
+def test_returned_ids_come_from_probed_lists(qseed, nprobe, k):
+    probe = np.random.default_rng(qseed).normal(0, 1, DIM).astype(np.float32)
+    result = DEVICE.get_results(
+        DEVICE.query(probe, k, MODEL, DB, nprobe=nprobe)
+    )
+    decision = _route(probe, nprobe)
+    allowed = set(INDEX.lists.probed_ids(decision.list_ids).tolist())
+    assert set(result.feature_ids.tolist()) <= allowed
+    assert result.nprobe == decision.nprobe
+    assert result.probed_rows == len(allowed)
+    # a probed id belongs to exactly one list: list sizes partition N
+    assert sum(INDEX.lists.sizes) == N
+
+
+# ----------------------------------------------------------------------
+# monotone recall in nprobe (score-based)
+# ----------------------------------------------------------------------
+@given(
+    qseed=st.integers(min_value=0, max_value=2**16),
+    k=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=120, deadline=None)
+def test_recall_is_monotone_in_nprobe(qseed, k):
+    probe = np.random.default_rng(qseed).normal(0, 1, DIM).astype(np.float32)
+    DEVICE.index_mode = "off"
+    try:
+        exact = DEVICE.get_results(DEVICE.query(probe, k, MODEL, DB))
+    finally:
+        DEVICE.index_mode = "ivf"
+    kth = exact.scores[-1]
+    counts = []
+    for nprobe in NPROBES:
+        got = DEVICE.get_results(
+            DEVICE.query(probe, k, MODEL, DB, nprobe=nprobe)
+        )
+        counts.append(int(np.count_nonzero(got.scores >= kth)))
+    assert counts == sorted(counts)
+    # the full probe is the exhaustive scan: it recovers every result
+    assert counts[-1] == k
+
+
+# ----------------------------------------------------------------------
+# canonical k-means assignment
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n=st.integers(min_value=8, max_value=40),
+    dim=st.integers(min_value=2, max_value=8),
+    n_lists=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=80, deadline=None)
+def test_assignment_is_canonical_argmin(seed, n, dim, n_lists):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(0, 1, (n, dim)).astype(np.float32)
+    centroids, assignments = train_kmeans(data, n_lists, iterations=3,
+                                          seed=seed)
+    # independent selection: maximize score, break ties on lowest id
+    scores = centroid_scores(data, centroids)
+    for i in range(n):
+        best = max(range(n_lists), key=lambda j: (scores[i, j], -j))
+        assert assignments[i] == best
+    assert np.array_equal(assignments, assign_canonical(data, centroids))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n=st.integers(min_value=1, max_value=16),
+    m=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_exact_ties_resolve_to_lowest_list(seed, n, m):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(0, 1, (n, 4)).astype(np.float32)
+    # m bit-identical centroids: every score ties, id breaks it
+    centroid = rng.normal(0, 1, (1, 4)).astype(np.float32)
+    centroids = np.repeat(centroid, m, axis=0)
+    assert assign_canonical(data, centroids).tolist() == [0] * n
+
+
+# ----------------------------------------------------------------------
+# lifecycle interleavings never surface tombstones
+# ----------------------------------------------------------------------
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(min_value=1, max_value=4)),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=10**6)),
+        st.tuples(st.just("compact"), st.just(0)),
+        st.tuples(st.just("query"), st.integers(min_value=1, max_value=4)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(program=ops, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, deadline=None)
+def test_interleavings_never_surface_tombstones(program, seed):
+    rng = np.random.default_rng(seed)
+    device = IndexedDevice()
+    db = device.write_db(rng.normal(0, 1, (24, DIM)).astype(np.float32))
+    model = device.load_graph(GRAPH)
+    device.enable_ingest(db, region_blocks=8, region_pages_per_block=16)
+    device.build_index(db, model, 4, iterations=2, seed=seed)
+    alive = list(range(24))
+    dead = set()
+
+    def check(nprobe):
+        probe = rng.normal(0, 1, DIM).astype(np.float32)
+        result = device.get_results(
+            device.query(probe, 6, model, db, nprobe=nprobe)
+        )
+        returned = set(result.feature_ids.tolist())
+        assert not (returned & dead)
+        assert returned <= set(alive)
+
+    for op, arg in program:
+        if op == "insert":
+            new = device.insert_db(
+                db, rng.normal(0, 1, (arg, DIM)).astype(np.float32)
+            )
+            alive.extend(int(i) for i in new)
+        elif op == "delete" and alive:
+            victim = alive[arg % len(alive)]
+            device.delete_db_rows(db, [victim])
+            alive.remove(victim)
+            dead.add(victim)
+        elif op == "compact":
+            device.compact_db(db)
+            # compaction re-indexes: the delta is folded in
+            assert device.delta_rows(db) == 0
+        elif op == "query":
+            check(arg)
+    check(4)  # full probe + delta: still only live ids
