@@ -1,0 +1,153 @@
+"""Extension: the multi-tenant production day on the shared plane.
+
+The paper serves one anonymous query stream; a production deployment
+serves *tenants*.  This bench runs the canonical three-tenant 24-hour
+day (:mod:`repro.tenancy`) at the exact perf-gate configuration —
+search flash crowd, scripted shard-replica failure, skewed live ingest
+— and asserts the claims the tenancy control plane stands on:
+
+* **conservation** — every tenant's admission ledger balances
+  bit-exactly (``offered == admitted + rejected`` and ``admitted ==
+  completed + evicted + expired + depth``) across burst, failure, and
+  autoscaling;
+* **the control loop closes** — the flash crowd trips the burn-rate
+  alert, the autoscaler grows the pool, and capacity returns to
+  baseline after the burst (no flapping: scale-ups == scale-downs);
+* **isolation is measured, not asserted** — the paired fixed-capacity
+  runs (aggressor in / surgically removed, victim arrivals
+  byte-identical) price the noisy-neighbor tax as a p99 ratio >= 1;
+* **ingest is live** — the write tenant's skewed keys trip real
+  rebalances whose row moves are priced as backend-occupying
+  maintenance.
+
+The emitted table mirrors the tenancy scorecard the CI perf gate
+diffs, and ``tenancy_scorecard.json`` is the uploaded CI artifact.
+"""
+
+import json
+
+from repro.analysis import Table
+from repro.tenancy.day import default_production_config, run_production_day
+from repro.tenancy.scorecard import SCORECARD_SEED, build_tenancy_scorecard
+
+from conftest import RESULTS_DIR, emit
+
+#: the bench runs the exact gate configuration: one deterministic day,
+#: one artifact, no drift between what CI gates and what this asserts
+CONFIG = default_production_config(seed=SCORECARD_SEED)
+
+
+def scaled_config(scale: int = 1):
+    """The gate config with every tenant's offered load scaled up.
+
+    ``scale=1`` is ``CONFIG`` itself (the scorecard day); larger scales
+    multiply each tenant's ``base_qps`` while keeping the diurnal
+    shape, burst windows, and fault script fixed.
+    """
+    if scale == 1:
+        return CONFIG
+    from dataclasses import replace
+
+    return replace(CONFIG, tenants=tuple(
+        replace(t, base_qps=t.base_qps * scale) for t in CONFIG.tenants
+    ))
+
+
+def run_day(scale: int = 1):
+    return run_production_day(scaled_config(scale))
+
+
+def tenants_table(report):
+    day = report.result
+    table = Table(
+        f"Extension: multi-tenant production day (seed {CONFIG.seed}, "
+        f"{day.peak_backends} peak backends, {day.alerts} alert(s))",
+        ["tenant", "offered", "completed", "shed", "p99 (s)",
+         "SLO attain", "goodput"],
+    )
+    for name, t in sorted(day.tenants.items()):
+        table.add_row(
+            f"{name:10s}",
+            f"{t.offered:7d}",
+            f"{t.completed:9d}",
+            f"{t.shed:4d}",
+            f"{t.p99_s:7.3f}",
+            f"{t.slo_attainment:10.4f}",
+            f"{t.goodput_fraction:7.4f}",
+        )
+    return table
+
+
+def control_table(report):
+    day = report.result
+    table = Table(
+        "Extension: control plane (autoscaler, ingest, isolation)",
+        ["quantity", "value"],
+    )
+    rows = [
+        ("scale-ups / scale-downs",
+         f"{sum(1 for a in day.actions if a.kind == 'scale_up')} / "
+         f"{sum(1 for a in day.actions if a.kind == 'scale_down')}"),
+        ("alerts / first alert (h)",
+         f"{day.alerts} / {day.first_alert_s / 3600.0:.2f}"),
+        ("peak / final backends",
+         f"{day.peak_backends} / {day.final_backends}"),
+        ("rebalances / rows moved",
+         f"{day.rebalances} / {day.rebalance_rows_moved}"),
+        ("mean batch", f"{day.mean_batch:.3f}"),
+        ("utilization", f"{day.utilization:.4f}"),
+    ]
+    for victim, ratio in sorted(report.isolation_ratios().items()):
+        rows.append(
+            (f"isolation p99 ratio: {victim}", f"{ratio:.3f}")
+        )
+    for name, value in rows:
+        table.add_row(f"{name:30s}", value)
+    return table
+
+
+def test_ext_tenancy_production_day(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_day, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit(tenants_table(report), "ext_tenancy_tenants.txt")
+    emit(control_table(report), "ext_tenancy_control.txt")
+    day = report.result
+
+    # --- conservation: every ledger balances bit-exactly all day
+    assert day.conserved
+    for t in day.tenants.values():
+        assert t.offered > 0 and t.completed > 0
+
+    # --- the control loop closes: burst detected, absorbed, released
+    ups = [a for a in day.actions if a.kind == "scale_up"]
+    downs = [a for a in day.actions if a.kind == "scale_down"]
+    assert ups, "the flash crowd must trip the burn scaler"
+    assert day.alerts >= 1
+    assert day.peak_backends > 1
+    assert len(ups) == len(downs)  # capacity returned: no flapping
+    assert day.final_backends == CONFIG.initial_backends
+
+    # --- isolation: paired runs exist and price the aggressor tax
+    ratios = report.isolation_ratios()
+    assert report.aggressor == "search"
+    assert set(ratios) == {"analytics", "ingestpipe"}
+    assert all(r >= 0.99 for r in ratios.values())
+
+    # --- live ingest tripped priced rebalances
+    assert day.rebalances >= 1
+    assert day.rebalance_rows_moved > 0
+    assert day.tenants["ingestpipe"].writes_completed > 0
+
+
+def test_ext_tenancy_scorecard_artifact():
+    """The gate leg is bit-stable and lands in results/ for CI upload."""
+    card = build_tenancy_scorecard()
+    again = build_tenancy_scorecard()
+    assert card == again
+    text = json.dumps(card, indent=2, sort_keys=True) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "tenancy_scorecard.json").write_text(text)
+    assert card["day"]["conserved"] == 1
+    assert card["aggressor"] == "search"
+    assert card["day"]["peak_backends"] >= 1

@@ -6,10 +6,12 @@ Builds the combined perf scorecard — the reproduction scorecard
 scorecard (shard scaling, failover tax, hedging), the ingest
 scorecard (staleness drift, compaction recovery, write-amplification
 interference), the recovery scorecard (crash durability, MTTR,
-availability and recall under a scripted chaos day), and the index
+availability and recall under a scripted chaos day), the index
 scorecard (IVF recall/latency frontier per accelerator level, build
-cost through the FTL write path, DES-validated operating point) — and
-compares
+cost through the FTL write path, DES-validated operating point), and
+the tenancy scorecard (multi-tenant production day: per-tenant
+p99/goodput/SLO attainment, autoscaler action log, noisy-neighbor
+isolation ratios) — and compares
 it leaf by leaf against the checked-in baseline
 ``benchmarks/results/baseline_scorecard.json`` within a relative
 tolerance (default +/-10%).
@@ -42,13 +44,14 @@ BASELINE_PATH = RESULTS_DIR / "baseline_scorecard.json"
 
 
 def build_combined_scorecard() -> Dict[str, object]:
-    """All six scorecards under stable top-level keys."""
+    """All seven scorecards under stable top-level keys."""
     from repro.analysis.scorecard import build_scorecard
     from repro.cluster import build_cluster_scorecard
     from repro.index.scorecard import build_index_scorecard
     from repro.ingest import build_ingest_scorecard
     from repro.recovery.scorecard import build_recovery_scorecard
     from repro.serving.scorecard import build_serving_scorecard
+    from repro.tenancy.scorecard import build_tenancy_scorecard
 
     return {
         "repro": json.loads(build_scorecard().to_json()),
@@ -57,6 +60,7 @@ def build_combined_scorecard() -> Dict[str, object]:
         "ingest": build_ingest_scorecard(),
         "recovery": build_recovery_scorecard(),
         "index": build_index_scorecard(),
+        "tenancy": build_tenancy_scorecard(),
     }
 
 

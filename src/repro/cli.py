@@ -17,6 +17,7 @@ Small, self-contained runners over the library for the common questions:
 ``ingest``     online ingest & data-lifecycle loop / perf scorecard
 ``index``      IVF ANN probes: recall/latency Pareto sweep / scorecard
 ``chaos``      scripted fault day: crash recovery + cluster hardening
+``tenants``    multi-tenant production day: fairness, autoscaling, SLOs
 ``demo``       a real end-to-end query with planted neighbors
 =============  ==========================================================
 """
@@ -1089,6 +1090,103 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    """Multi-tenant production day on the shared serving plane.
+
+    Plays the canonical three-tenant 24-hour diurnal trace — search
+    flash crowd, scripted shard failure, skewed live ingest — through
+    weighted-fair admission and the burn-rate autoscaler, and reports
+    each tenant's day plus the noisy-neighbor isolation ratios.
+    ``--trace`` summarizes the generated trace without running it;
+    ``--scorecard`` emits the tenancy leg of the CI perf gate.
+    """
+    import json
+
+    from repro.tenancy import (
+        default_production_config,
+        generate_day,
+        offered_summary,
+        run_production_day,
+    )
+    from repro.tenancy.scorecard import build_tenancy_scorecard
+    from repro.tenancy.trace import peak_window_qps
+
+    if args.scorecard:
+        # always machine-readable: this is the artifact CI gates on
+        print(json.dumps(build_tenancy_scorecard(), indent=2,
+                         sort_keys=True))
+        return 0
+
+    try:
+        config = default_production_config(
+            seed=args.seed, day_s=args.day, features=args.features
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.trace:
+        arrivals = generate_day(config)
+        summary = offered_summary(arrivals)
+        payload = {
+            "day_s": config.day_s,
+            "seed": config.seed,
+            "arrivals": len(arrivals),
+            "peak_window_qps": peak_window_qps(arrivals),
+            "tenants": summary,
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"trace: {len(arrivals)} arrivals over "
+              f"{config.day_s / 3600.0:.1f} h (seed {config.seed}), "
+              f"peak {payload['peak_window_qps']:.3f} qps")
+        for name, row in sorted(summary.items()):
+            print(f"  {name}: {row['offered']} offered "
+                  f"({row['queries']} queries, {row['writes']} writes, "
+                  f"{row['burst']} burst)")
+        return 0
+
+    report = run_production_day(config, isolation=not args.no_isolation)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0
+
+    day = report.result
+    print(f"production day: {len(config.tenants)} tenants, "
+          f"{config.day_s / 3600.0:.1f} h, seed {config.seed}, "
+          f"{config.features:,} rows x {config.n_shards} shards")
+    for name, t in sorted(day.tenants.items()):
+        spec = config.tenant(name)
+        print(f"  {name} ({spec.deadline_class}, weight {spec.weight:g}): "
+              f"{t.offered} offered, {t.completed} completed, "
+              f"{t.shed} shed, p99 {t.p99_s:.3f} s, "
+              f"SLO attainment {t.slo_attainment:.4f}"
+              f"{'' if t.conserved else ' LEDGER IMBALANCE'}")
+    print(f"  autoscaler: peak {day.peak_backends} backend(s), "
+          f"{sum(1 for a in day.actions if a.kind == 'scale_up')} up / "
+          f"{sum(1 for a in day.actions if a.kind == 'scale_down')} down, "
+          f"{day.alerts} alert(s)")
+    for action in day.actions:
+        trigger = (
+            f" ({action.trigger_tenant}, burn {action.trigger_burn:.1f}x)"
+            if action.kind == "scale_up" else ""
+        )
+        print(f"    {action.at_s / 3600.0:5.2f} h {action.kind} "
+              f"{action.backends_before}->{action.backends_after}"
+              f"{trigger}")
+    print(f"  ingest: {day.rebalances} rebalance(s), "
+          f"{day.rebalance_rows_moved} rows moved")
+    ratios = report.isolation_ratios()
+    if ratios:
+        pairs = ", ".join(
+            f"{name} {ratio:.2f}x" for name, ratio in sorted(ratios.items())
+        )
+        print(f"  isolation (victim p99 with/without {report.aggressor}): "
+              f"{pairs}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import DeepStoreDevice
     from repro.analysis import format_seconds
@@ -1374,6 +1472,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the machine-readable SLO report (JSON)")
     slo.add_argument("--json", action="store_true")
 
+    tenants = sub.add_parser(
+        "tenants", help="multi-tenant production day on the shared plane"
+    )
+    tenants.add_argument("--seed", type=int, default=0)
+    tenants.add_argument("--day", type=float, default=86_400.0,
+                         help="simulated day length in seconds")
+    tenants.add_argument("--features", type=int, default=32_000_000,
+                         help="database rows behind the shared plane")
+    tenants.add_argument("--trace", action="store_true",
+                         help="summarize the generated day trace only")
+    tenants.add_argument("--no-isolation", action="store_true",
+                         help="skip the paired noisy-neighbor runs")
+    tenants.add_argument("--scorecard", action="store_true",
+                         help="emit the tenancy leg of the CI perf gate")
+    tenants.add_argument("--json", action="store_true")
+
     demo = sub.add_parser("demo", help="end-to-end functional query")
     demo.add_argument("--app", default="tir",
                       choices=["reid", "mir", "estp", "tir", "textqa"])
@@ -1403,6 +1517,7 @@ COMMANDS = {
     "chaos": _cmd_chaos,
     "explain": _cmd_explain,
     "slo": _cmd_slo,
+    "tenants": _cmd_tenants,
     "demo": _cmd_demo,
 }
 

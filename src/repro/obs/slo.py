@@ -32,6 +32,8 @@ column on the PR 6 kill-storm scorecard.
 
 from __future__ import annotations
 
+import warnings
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -137,9 +139,34 @@ class SloMonitor:
         self.rules: Tuple[BurnRateRule, ...] = tuple(rules)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sample_interval_s = sample_interval_s
+        #: effective evaluation window per rule.  Evaluation happens only
+        #: at fixed ``sample_interval_s`` boundaries, so a window shorter
+        #: than the interval would look at a sliver of each interval and
+        #: could *never* see events landing in the rest of it — bad
+        #: events would sail past without an alert.  Clamp (and warn):
+        #: the shortest honest window is one full sample interval.
+        self._rule_window_s: Dict[str, float] = {}
+        for rule in rules:
+            window = rule.window_s
+            if window < sample_interval_s:
+                warnings.warn(
+                    f"burn-rate rule {rule.name!r}: window_s={window} is "
+                    f"shorter than sample_interval_s={sample_interval_s}; "
+                    f"clamping to the sample interval (sub-interval "
+                    f"windows cannot observe every event)",
+                    stacklevel=2,
+                )
+                window = sample_interval_s
+            self._rule_window_s[rule.name] = window
         self.alerts: List[Alert] = []
-        #: per-SLO event log: (time, good) in arrival (== time) order
-        self._events: Dict[str, List[Tuple[float, bool]]] = {
+        #: per-SLO event log as parallel arrays in nondecreasing time
+        #: order, with a cumulative bad count — windowed (bad, total)
+        #: queries are then two bisects + a prefix-sum difference
+        #: instead of a scan over the whole run (24 h diurnal traces
+        #: evaluate thousands of boundaries over tens of thousands of
+        #: events; the scan was quadratic in the day length)
+        self._times: Dict[str, List[float]] = {name: [] for name in self.specs}
+        self._bad_prefix: Dict[str, List[int]] = {
             name: [] for name in self.specs
         }
         self._active: Dict[str, bool] = {rule.name: False for rule in rules}
@@ -172,7 +199,15 @@ class SloMonitor:
         # events arrive in DES order, so those windows are complete
         self._advance(at_s)
         self._last_t = max(self._last_t, at_s)
-        self._events[slo].append((at_s, bool(good)))
+        times = self._times[slo]
+        if times and at_s < times[-1]:
+            raise ValueError(
+                f"SLO events must arrive in nondecreasing time order: "
+                f"got {at_s} after {times[-1]}"
+            )
+        prefix = self._bad_prefix[slo]
+        times.append(at_s)
+        prefix.append((prefix[-1] if prefix else 0) + (0 if good else 1))
 
     def finish(self, end_s: Optional[float] = None) -> None:
         """Flush evaluation through ``end_s`` (default: last event)."""
@@ -188,22 +223,39 @@ class SloMonitor:
             self._boundaries_done += 1
             self._evaluate(self._boundaries_done * interval)
 
-    def _window(
+    def window_counts(
         self, slo: str, at_s: float, window_s: float
     ) -> Tuple[int, int]:
-        """(bad, total) over the half-open window ``(at_s - w, at_s]``."""
-        lo = at_s - window_s
-        bad = total = 0
-        for t, good in self._events[slo]:
-            if lo < t <= at_s:
-                total += 1
-                if not good:
-                    bad += 1
-        return bad, total
+        """(bad, total) over the half-open window ``(at_s - w, at_s]``.
+
+        Public so consumers driving control loops off the monitor (the
+        tenancy autoscaler reads per-tenant burn rates this way) share
+        the exact accounting the alert rules use.
+        """
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if slo not in self.specs:
+            raise ValueError(f"unknown SLO {slo!r}")
+        times = self._times[slo]
+        lo = bisect_right(times, at_s - window_s)
+        hi = bisect_right(times, at_s)
+        if hi <= lo:
+            return 0, 0
+        prefix = self._bad_prefix[slo]
+        bad = prefix[hi - 1] - (prefix[lo - 1] if lo > 0 else 0)
+        return bad, hi - lo
+
+    def burn_rate(self, slo: str, at_s: float, window_s: float) -> float:
+        """Error-budget burn multiple over the trailing window (0 when
+        the window holds no events)."""
+        bad, total = self.window_counts(slo, at_s, window_s)
+        if total == 0:
+            return 0.0
+        return (bad / total) / self.specs[slo].budget
 
     def _evaluate(self, at_s: float) -> None:
         for name, spec in self.specs.items():
-            bad, total = self._window(name, at_s, self.sample_interval_s)
+            bad, total = self.window_counts(name, at_s, self.sample_interval_s)
             good_fraction = 1.0 if total == 0 else (total - bad) / total
             self.registry.timeseries(
                 f"slo.{name}.good_fraction", self.sample_interval_s
@@ -216,7 +268,9 @@ class SloMonitor:
             ).sample(at_s, float(bad))
         for rule in self.rules:
             spec = self.specs[rule.slo]
-            bad, total = self._window(rule.slo, at_s, rule.window_s)
+            bad, total = self.window_counts(
+                rule.slo, at_s, self._rule_window_s[rule.name]
+            )
             if total < rule.min_events:
                 continue
             burn = (bad / total) / spec.budget
@@ -242,9 +296,9 @@ class SloMonitor:
     def error_budget(self, slo: str) -> Dict[str, object]:
         """Whole-run budget accounting for one SLO."""
         spec = self.specs[slo]
-        events = self._events[slo]
-        total = len(events)
-        bad = sum(1 for _t, good in events if not good)
+        prefix = self._bad_prefix[slo]
+        total = len(prefix)
+        bad = prefix[-1] if prefix else 0
         bad_fraction = bad / total if total else 0.0
         # fraction of the allowed bad budget still unspent (can go
         # negative: the SLO was violated)

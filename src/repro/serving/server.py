@@ -48,7 +48,7 @@ from repro.obs.dtrace import (
 from repro.obs.metrics import MetricsRegistry, percentile
 from repro.obs.slo import SloMonitor
 from repro.obs.tracer import Tracer
-from repro.serving.admission import AdmissionQueue, QueuedQuery
+from repro.serving.admission import POLICIES, AdmissionQueue, QueuedQuery
 from repro.serving.arrivals import INGEST_COMPAT, ArrivalEvent, offered_qps_of
 from repro.serving.batcher import BatchCostModel, BatchPolicy
 from repro.sim import Simulator, fastpath
@@ -103,6 +103,10 @@ class ServingConfig:
     index_nprobe: int = 0
 
     def __post_init__(self) -> None:
+        # every knob combination is validated here, up front, so a bad
+        # config fails at construction with a clear message instead of
+        # deep inside a sweep (where the same ValueError used to
+        # surface from AdmissionQueue or the batcher mid-run)
         if self.ingest_rows_per_op <= 0:
             raise ValueError("ingest_rows_per_op must be positive")
         if self.index_lists < 0:
@@ -123,6 +127,34 @@ class ServingConfig:
             raise ValueError("n_shards must be positive")
         if self.n_replicas <= 0:
             raise ValueError("n_replicas must be positive")
+        if self.queue_bound <= 0:
+            raise ValueError("queue_bound must be positive")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of {POLICIES}"
+            )
+        if self.policy == "deadline" and (
+            self.deadline_s is None or self.deadline_s <= 0
+        ):
+            raise ValueError("deadline policy needs a positive deadline_s")
+        if self.policy != "deadline" and self.deadline_s is not None:
+            raise ValueError("deadline_s only applies to the deadline policy")
+        if self.cache_entries > 0 and not 0.0 < self.cache_threshold < 1.0:
+            raise ValueError(
+                "cache_threshold must be in (0, 1) when the cache is enabled"
+            )
+        if self.fidelity not in ("analytic", "event"):
+            raise ValueError(
+                f"unknown fidelity {self.fidelity!r}; "
+                f"expected 'analytic' or 'event'"
+            )
+        if self.shard_placement not in ("range", "hash", "locality"):
+            raise ValueError(
+                f"unknown shard_placement {self.shard_placement!r}; "
+                f"expected 'range', 'hash', or 'locality'"
+            )
 
     @property
     def clustered(self) -> bool:

@@ -116,6 +116,10 @@ def sweep_offered_load(
     """
     if n_queries <= 0:
         raise ValueError("n_queries must be positive")
+    if qps_points is not None and any(q <= 0 for q in qps_points):
+        raise ValueError("qps_points must all be positive")
+    if any(f <= 0 for f in load_fractions):
+        raise ValueError("load_fractions must all be positive")
     server = QueryServer(config, metrics=metrics)
     saturation = server.saturation_qps()
     if qps_points is None:

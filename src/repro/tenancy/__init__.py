@@ -1,0 +1,65 @@
+"""Multi-tenant control plane over the serving and cluster layers.
+
+``repro.tenancy`` turns the single anonymous query stream of
+:mod:`repro.serving` into *tenants* — per-tenant workload classes with
+their own Zipf skew, SCN app mix, diurnal arrival shape, and deadline
+class — competing for shared in-storage accelerator capacity under a
+weighted-fair admission scheduler, per-tenant SLO monitoring, and a
+burn-rate autoscaler.  The flagship scenario is
+:func:`~repro.tenancy.day.run_production_day`: a 24-hour trace with a
+flash crowd, a shard failure, and live ingest all at once, scored per
+tenant and paired with an aggressor-removed rerun for noisy-neighbor
+isolation.  See DESIGN.md's tenancy section for the fairness model and
+the isolation-measurement methodology.
+"""
+
+from repro.tenancy.admission import TenantQueueSpec, WeightedFairQueue
+from repro.tenancy.autoscale import Autoscaler, AutoscalerConfig, ScalingAction
+from repro.tenancy.day import (
+    ProductionDayReport,
+    default_production_config,
+    run_production_day,
+)
+from repro.tenancy.scorecard import build_tenancy_scorecard
+from repro.tenancy.server import DayResult, MultiTenantServer, TenantDayResult
+from repro.tenancy.spec import (
+    DEADLINE_CLASSES,
+    BurstSpec,
+    ShardFailureSpec,
+    TenancyConfig,
+    TenantSpec,
+)
+from repro.tenancy.trace import (
+    TenantArrival,
+    aggressor_of,
+    diurnal_rate,
+    generate_day,
+    offered_summary,
+    tenant_day,
+)
+
+__all__ = [
+    "DEADLINE_CLASSES",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "BurstSpec",
+    "DayResult",
+    "MultiTenantServer",
+    "ProductionDayReport",
+    "ScalingAction",
+    "ShardFailureSpec",
+    "TenancyConfig",
+    "TenantArrival",
+    "TenantDayResult",
+    "TenantQueueSpec",
+    "TenantSpec",
+    "WeightedFairQueue",
+    "aggressor_of",
+    "build_tenancy_scorecard",
+    "default_production_config",
+    "diurnal_rate",
+    "generate_day",
+    "offered_summary",
+    "run_production_day",
+    "tenant_day",
+]

@@ -1,0 +1,181 @@
+"""SLO-burn-driven autoscaling for the multi-tenant serving plane.
+
+The control loop every production service ends up with: watch each
+tenant's error-budget **burn rate** (the SRE multiple the
+:class:`~repro.obs.slo.SloMonitor` already computes for alerting), and
+move scan capacity to match.  The pieces:
+
+* :class:`AutoscalerConfig` — the policy knobs: burn window and the
+  up/down thresholds, backend bounds, cooldown between actions, and the
+  **actuation latency** — a replica does not serve the instant it is
+  requested; spinning one up costs ``actuation_s`` of simulated time,
+  which is exactly why burst response shows a dent in p99 even with a
+  perfect policy;
+* :class:`ScalingAction` — one decision, timestamped at both decision
+  and effect time, so the scorecard can show the decision-to-effect
+  lag alongside the SLO dent it failed to prevent;
+* :class:`Autoscaler` — the pure decision kernel: given the per-tenant
+  burn rates at an evaluation boundary, return the desired backend
+  count.  It owns no simulator and schedules nothing — the
+  :class:`~repro.tenancy.server.MultiTenantServer` drives it at fixed
+  boundaries and prices the actuation delay on the DES, keeping the
+  kernel trivially unit-testable.
+
+Scale-up is any-tenant-burning (one tenant past the up threshold means
+someone's budget is on fire); scale-down is all-quiet (every tenant
+under the down threshold), stepping one backend at a time with a
+cooldown so the loop cannot flap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Policy knobs for the burn-rate autoscaler."""
+
+    #: backend-count bounds the scaler moves within
+    min_backends: int = 1
+    max_backends: int = 4
+    #: trailing window the burn rate is read over
+    window_s: float = 1_800.0
+    #: scale up when any tenant's burn multiple exceeds this
+    scale_up_threshold: float = 2.0
+    #: scale down when every tenant's burn multiple is under this
+    scale_down_threshold: float = 0.5
+    #: how often the loop evaluates, in simulated seconds
+    evaluate_interval_s: float = 600.0
+    #: minimum gap between two scaling actions
+    cooldown_s: float = 1_800.0
+    #: decision-to-effect lag: seconds before a new backend serves
+    #: (or a drained one stops counting)
+    actuation_s: float = 120.0
+    #: disable the loop entirely (capacity stays at its initial value)
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_backends <= 0:
+            raise ValueError("min_backends must be positive")
+        if self.max_backends < self.min_backends:
+            raise ValueError("max_backends must be >= min_backends")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.scale_up_threshold <= 0:
+            raise ValueError("scale_up_threshold must be positive")
+        if not 0 <= self.scale_down_threshold < self.scale_up_threshold:
+            raise ValueError(
+                "scale_down_threshold must be in [0, scale_up_threshold) "
+                "— overlapping thresholds would make the loop flap"
+            )
+        if self.evaluate_interval_s <= 0:
+            raise ValueError("evaluate_interval_s must be positive")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s cannot be negative")
+        if self.actuation_s < 0:
+            raise ValueError("actuation_s cannot be negative")
+
+
+@dataclass(frozen=True)
+class ScalingAction:
+    """One autoscaler decision and its (delayed) effect."""
+
+    #: simulated time the decision was made
+    at_s: float
+    #: ``"scale_up"`` or ``"scale_down"``
+    kind: str
+    #: backend count before and after the action
+    backends_before: int
+    backends_after: int
+    #: simulated time the new capacity actually serves
+    effective_s: float
+    #: the tenant whose burn drove the decision (scale-up only)
+    trigger_tenant: Optional[str] = None
+    #: that tenant's burn multiple at decision time
+    trigger_burn: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready record of one scaling action."""
+        return {
+            "at_s": self.at_s,
+            "kind": self.kind,
+            "backends_before": self.backends_before,
+            "backends_after": self.backends_after,
+            "effective_s": self.effective_s,
+            "trigger_tenant": self.trigger_tenant or "",
+            "trigger_burn": self.trigger_burn,
+        }
+
+
+class Autoscaler:
+    """The pure decision kernel: burn rates in, desired capacity out.
+
+    Stateful only in the ways the policy requires (current target,
+    last-action time for the cooldown); entirely simulator-free.
+    """
+
+    def __init__(self, config: AutoscalerConfig, initial_backends: int):
+        if not (
+            config.min_backends <= initial_backends <= config.max_backends
+        ):
+            raise ValueError(
+                "initial_backends must lie within "
+                "[min_backends, max_backends]"
+            )
+        self.config = config
+        self.target = initial_backends
+        self.actions: List[ScalingAction] = []
+        self._last_action_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, now_s: float, burns: Dict[str, float]
+    ) -> Optional[ScalingAction]:
+        """One control-loop step: decide on the current burn rates.
+
+        ``burns`` maps tenant name to its burn multiple over the
+        config's window.  Returns the action taken (already appended to
+        :attr:`actions`) or None.  The caller owns making the action's
+        ``effective_s`` real — the kernel just computes and records it.
+        """
+        config = self.config
+        if not config.enabled or not burns:
+            return None
+        if (
+            self._last_action_s is not None
+            and now_s - self._last_action_s < config.cooldown_s
+        ):
+            return None
+        hottest = max(burns, key=lambda name: burns[name])
+        action: Optional[ScalingAction] = None
+        if (
+            burns[hottest] > config.scale_up_threshold
+            and self.target < config.max_backends
+        ):
+            action = ScalingAction(
+                at_s=now_s,
+                kind="scale_up",
+                backends_before=self.target,
+                backends_after=self.target + 1,
+                effective_s=now_s + config.actuation_s,
+                trigger_tenant=hottest,
+                trigger_burn=burns[hottest],
+            )
+        elif (
+            all(b < config.scale_down_threshold for b in burns.values())
+            and self.target > config.min_backends
+        ):
+            action = ScalingAction(
+                at_s=now_s,
+                kind="scale_down",
+                backends_before=self.target,
+                backends_after=self.target - 1,
+                effective_s=now_s + config.actuation_s,
+            )
+        if action is not None:
+            self.target = action.backends_after
+            self._last_action_s = now_s
+            self.actions.append(action)
+        return action

@@ -1,0 +1,528 @@
+"""The multi-tenant discrete-event serving plane.
+
+:class:`MultiTenantServer` plays a :mod:`repro.tenancy.trace` day
+against the shared sharded backend: per-tenant bounded queues under
+:class:`~repro.tenancy.admission.WeightedFairQueue` dispatch, a
+dynamic pool of scan backends the burn-rate
+:class:`~repro.tenancy.autoscale.Autoscaler` grows and shrinks (with
+actuation latency priced on the DES), a scripted shard-replica failure
+that swaps every app's cost model to its degraded twin for the outage
+window, and live ingest routed through a
+:class:`~repro.cluster.ingest.ShardIngestTracker` whose rebalance
+plans are priced as maintenance jobs that occupy a backend.
+
+The batch-service loop is structured exactly like
+:class:`~repro.serving.server.QueryServer.run` — pop a head-of-line
+compat-prefix batch, hold a backend for the cost model's shared-scan
+time, complete on a scheduled event — and the cost models themselves
+*are* ``QueryServer``'s (one per SCN app, built through the same
+``ServingConfig`` path).  With one tenant, no bursts, no failure, and
+the autoscaler off, the plane is the single-tenant server batch for
+batch: the parity test pins every aggregate of
+:class:`~repro.serving.server.ServingResult` against it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cluster.ingest import RebalancePlan, ShardIngestTracker
+from repro.obs.metrics import percentile
+from repro.obs.slo import BurnRateRule, SloMonitor, SloSpec
+from repro.serving.admission import QueuedQuery
+from repro.serving.arrivals import INGEST_COMPAT
+from repro.serving.server import QueryServer, ServingConfig
+from repro.sim import Simulator
+from repro.tenancy.admission import TenantQueueSpec, WeightedFairQueue
+from repro.tenancy.autoscale import Autoscaler, ScalingAction
+from repro.tenancy.spec import TenancyConfig, TenantSpec
+from repro.tenancy.trace import TenantArrival
+
+#: SLO evaluation boundaries per day (288 = one every 5 min on a 24h day)
+SAMPLE_BOUNDARIES_PER_DAY = 288
+
+#: minimum events in a burn window before a tenant's rule may alert or
+#: the autoscaler may act on the tenant's burn.  With a 1% error budget
+#: a window needs ~100 events before one unlucky tail query stops
+#: looking like a 10x burn — below this the signal is noise.
+BURN_MIN_EVENTS = 100
+
+
+@dataclass
+class TenantDayResult:
+    """One tenant's measured day on the shared plane."""
+
+    tenant: str
+    offered: int
+    admitted: int
+    completed: int
+    rejected: int
+    evicted: int
+    expired: int
+    writes_offered: int
+    writes_completed: int
+    mean_latency_s: float
+    p50_s: float
+    p99_s: float
+    p999_s: float
+    max_latency_s: float
+    mean_wait_s: float
+    #: fraction of completed queries inside the tenant's latency SLO
+    slo_attainment: float
+    #: completed / offered
+    goodput_fraction: float
+    #: both conservation identities held bit-exactly all day
+    conserved: bool
+
+    @property
+    def shed(self) -> int:
+        """Offered but never served."""
+        return self.rejected + self.evicted + self.expired
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready per-tenant scorecard row (stable keys)."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "writes_offered": self.writes_offered,
+            "writes_completed": self.writes_completed,
+            "mean_latency_s": self.mean_latency_s,
+            "p50_s": self.p50_s,
+            "p99_s": self.p99_s,
+            "p999_s": self.p999_s,
+            "mean_wait_s": self.mean_wait_s,
+            "slo_attainment": self.slo_attainment,
+            "goodput_fraction": self.goodput_fraction,
+            "conserved": int(self.conserved),
+        }
+
+
+@dataclass
+class DayResult:
+    """The whole plane's measured day."""
+
+    duration_s: float
+    tenants: Dict[str, TenantDayResult]
+    ledger: Dict[str, Dict[str, int]]
+    actions: List[ScalingAction]
+    alerts: int
+    first_alert_s: float
+    peak_backends: int
+    final_backends: int
+    rebalances: int
+    rebalance_rows_moved: int
+    mean_batch: float
+    utilization: float
+
+    @property
+    def conserved(self) -> bool:
+        """Every tenant's ledger balanced bit-exactly."""
+        return all(t.conserved for t in self.tenants.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready scorecard fragment (stable keys)."""
+        return {
+            "duration_s": self.duration_s,
+            "tenants": {
+                name: result.as_dict()
+                for name, result in sorted(self.tenants.items())
+            },
+            "scale_ups": sum(
+                1 for a in self.actions if a.kind == "scale_up"
+            ),
+            "scale_downs": sum(
+                1 for a in self.actions if a.kind == "scale_down"
+            ),
+            "alerts": self.alerts,
+            "first_alert_s": self.first_alert_s,
+            "peak_backends": self.peak_backends,
+            "final_backends": self.final_backends,
+            "rebalances": self.rebalances,
+            "rebalance_rows_moved": self.rebalance_rows_moved,
+            "mean_batch": self.mean_batch,
+            "utilization": self.utilization,
+            "conserved": int(self.conserved),
+        }
+
+
+class MultiTenantServer:
+    """Weighted-fair, autoscaled serving of a multi-tenant day trace."""
+
+    def __init__(self, config: TenancyConfig) -> None:
+        self.config = config
+        #: per-app healthy cost models, borrowed from QueryServer so the
+        #: tenancy plane prices batches through the identical path
+        self._healthy: Dict[str, QueryServer] = {}
+        self._degraded: Dict[str, QueryServer] = {}
+        for app in config.distinct_apps():
+            # placement "range" prices scatter-gather over equal shard
+            # sizes in O(1); "hash" would materialize a per-row owner
+            # table (O(features) argsort — minutes at 64M rows) to reach
+            # the same near-even sizes.  Ingest routing still hashes,
+            # via the ShardIngestTracker.
+            base = dict(
+                app=app,
+                features=config.features,
+                max_batch=config.max_batch,
+                n_shards=config.n_shards,
+                n_replicas=config.n_replicas,
+                shard_placement="range",
+            )
+            self._healthy[app] = QueryServer(ServingConfig(**base))
+            if config.failure is not None:
+                self._degraded[app] = QueryServer(ServingConfig(
+                    **base,
+                    fail_shards=(
+                        (config.failure.shard, config.failure.replica),
+                    ),
+                ))
+
+    # ------------------------------------------------------------------
+    def saturation_qps(self, backends: int = 1) -> float:
+        """Peak sustainable read rate of ``backends`` healthy scan units
+        (first-declared tenant's first app — the capacity-planning
+        anchor, not a mixed-workload promise)."""
+        app = self.config.tenants[0].apps[0][0]
+        return self._healthy[app].cost.saturation_qps(backends)
+
+    def build_monitor(self) -> SloMonitor:
+        """A fresh per-tenant SLO monitor for one day run."""
+        config = self.config
+        specs = [
+            SloSpec(
+                spec.slo_name,
+                target=spec.slo_target,
+                latency_threshold_s=spec.latency_slo_s,
+            )
+            for spec in config.tenants
+        ]
+        rules = [
+            BurnRateRule(
+                f"{spec.name}-fast-burn",
+                spec.slo_name,
+                window_s=config.autoscaler.window_s,
+                burn_threshold=config.autoscaler.scale_up_threshold,
+                min_events=BURN_MIN_EVENTS,
+            )
+            for spec in config.tenants
+        ]
+        return SloMonitor(
+            specs, rules,
+            sample_interval_s=config.day_s / SAMPLE_BOUNDARIES_PER_DAY,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, arrivals: List[TenantArrival], autoscale: bool = True
+    ) -> DayResult:
+        """Play one day trace to completion and measure every tenant.
+
+        ``autoscale=False`` pins capacity at ``initial_backends`` for
+        the whole day regardless of the config's autoscaler — the
+        paired noisy-neighbor runs use this so the isolation ratio
+        measures contention, not the scaler reacting to the aggressor.
+        """
+        if not arrivals:
+            raise ValueError("empty day trace")
+        config = self.config
+        specs: Dict[str, TenantSpec] = {
+            t.name: t for t in config.tenants
+        }
+        for a in arrivals:
+            if a.tenant not in specs:
+                raise ValueError(f"arrival for unknown tenant {a.tenant!r}")
+        sim = Simulator()
+        wfq = WeightedFairQueue(
+            [
+                TenantQueueSpec(
+                    name=t.name,
+                    weight=t.weight,
+                    bound=t.queue_bound,
+                    policy=t.queue_policy,
+                    deadline_s=t.queue_deadline_s,
+                )
+                for t in config.tenants
+            ],
+            quantum=config.quantum,
+        )
+        monitor = self.build_monitor()
+        scaler = Autoscaler(config.autoscaler, config.initial_backends)
+        tracker = ShardIngestTracker(
+            config.n_shards,
+            skew_threshold=config.skew_threshold,
+            min_inserts=config.min_inserts,
+            seed=config.seed,
+        )
+        rows_per_op = ServingConfig().ingest_rows_per_op
+
+        degraded_active = config.failure is not None
+        fail_window: Optional[Tuple[float, Optional[float]]] = None
+        if config.failure is not None:
+            heal = config.failure.heal_fraction
+            fail_window = (
+                config.failure.at_fraction * config.day_s,
+                heal * config.day_s if heal is not None else None,
+            )
+
+        class _State:
+            degraded = False
+            n_backends = config.initial_backends
+            peak_backends = config.initial_backends
+            pending_retire = 0
+            next_backend = config.initial_backends
+            busy_s = 0.0
+            capacity_integral = 0.0
+            capacity_since = 0.0
+            last_completion = 0.0
+            rebalance_rows = 0
+
+        state = _State()
+        idle: List[int] = list(range(config.initial_backends))
+        maintenance: Deque[float] = deque()
+        plans: List[RebalancePlan] = []
+        batch_sizes: List[int] = []
+        latencies: Dict[str, List[float]] = {
+            t.name: [] for t in config.tenants
+        }
+        waits: Dict[str, List[float]] = {t.name: [] for t in config.tenants}
+        writes_offered: Dict[str, int] = {t.name: 0 for t in config.tenants}
+        writes_completed: Dict[str, int] = {
+            t.name: 0 for t in config.tenants
+        }
+        offered: Dict[str, int] = {t.name: 0 for t in config.tenants}
+
+        def note_capacity_change(delta: int) -> None:
+            state.capacity_integral += (
+                (sim.now - state.capacity_since) * state.n_backends
+            )
+            state.capacity_since = sim.now
+            state.n_backends += delta
+            state.peak_backends = max(state.peak_backends, state.n_backends)
+
+        def note_shed() -> None:
+            for tenant, query, _reason in wfq.take_shed():
+                if query.compat != INGEST_COMPAT:
+                    monitor.record(
+                        specs[tenant].slo_name, sim.now, good=False
+                    )
+
+        def service_seconds(tenant: str, batch: List[QueuedQuery]) -> float:
+            if batch[0].compat == INGEST_COMPAT:
+                app = specs[tenant].apps[0][0]
+                return self._healthy[app].ingest_op_seconds * len(batch)
+            models = self._degraded if state.degraded else self._healthy
+            return models[batch[0].compat].cost.service_seconds(len(batch))
+
+        def complete(tenant: str, query: QueuedQuery, now: float) -> None:
+            latency = now - query.arrival_s
+            state.last_completion = max(state.last_completion, now)
+            if query.compat == INGEST_COMPAT:
+                writes_completed[tenant] += 1
+                return
+            latencies[tenant].append(latency)
+            monitor.record(specs[tenant].slo_name, now, latency_s=latency)
+
+        def dispatch() -> None:
+            while idle and (maintenance or wfq.depth > 0):
+                server = idle.pop(0)
+                if maintenance:
+                    # a rebalance holds a backend for the priced move
+                    service = maintenance.popleft()
+                    tenant_batch: Tuple[str, List[QueuedQuery]] = ("", [])
+                else:
+                    tenant_batch = wfq.pop_batch(sim.now, config.max_batch)
+                    note_shed()
+                    if not tenant_batch[1]:
+                        idle.append(server)
+                        idle.sort()
+                        return
+                    service = service_seconds(*tenant_batch)
+                    batch_sizes.append(len(tenant_batch[1]))
+                    start = sim.now
+                    for query in tenant_batch[1]:
+                        waits[tenant_batch[0]].append(
+                            start - query.arrival_s
+                        )
+                state.busy_s += service
+
+                def finish(
+                    server: int = server,
+                    tenant_batch: Tuple[str, List[QueuedQuery]] = tenant_batch,
+                ) -> None:
+                    tenant, batch = tenant_batch
+                    for query in batch:
+                        complete(tenant, query, sim.now)
+                    if state.pending_retire > 0:
+                        state.pending_retire -= 1
+                        note_capacity_change(-1)
+                    else:
+                        idle.append(server)
+                        idle.sort()
+                    dispatch()
+
+                sim.schedule_after(service, finish, label="batch-done")
+
+        def on_plan(plan: RebalancePlan) -> None:
+            plans.append(plan)
+            state.rebalance_rows += plan.rows_moved
+            maintenance.append(
+                plan.rows_moved * config.rebalance_row_seconds
+            )
+            dispatch()
+
+        tracker.on_rebalance = on_plan
+
+        def arrive(a: TenantArrival, qid: int) -> None:
+            offered[a.tenant] += 1
+            is_write = a.kind == "ingest"
+            if is_write:
+                writes_offered[a.tenant] += 1
+            query = QueuedQuery(
+                qid=qid,
+                arrival_s=sim.now,
+                priority=1 if is_write else 0,
+                compat=INGEST_COMPAT if is_write else a.app,
+                intent=a.intent,
+            )
+            admitted = wfq.offer(a.tenant, query, sim.now)
+            if admitted and is_write:
+                tracker.record_routed(a.key, rows=rows_per_op)
+            note_shed()
+            if admitted:
+                dispatch()
+
+        def fail_now() -> None:
+            state.degraded = True
+
+        def heal_now() -> None:
+            state.degraded = False
+
+        def autoscale_tick() -> None:
+            burns: Dict[str, float] = {}
+            for t in config.tenants:
+                bad, total = monitor.window_counts(
+                    t.slo_name, sim.now, config.autoscaler.window_s
+                )
+                if total < BURN_MIN_EVENTS:
+                    burns[t.name] = 0.0
+                else:
+                    budget = monitor.specs[t.slo_name].budget
+                    burns[t.name] = (bad / total) / budget
+            action = scaler.evaluate(sim.now, burns)
+            if action is None:
+                return
+
+            def actuate(action: ScalingAction = action) -> None:
+                if action.kind == "scale_up":
+                    note_capacity_change(+1)
+                    idle.append(state.next_backend)
+                    state.next_backend += 1
+                    idle.sort()
+                    dispatch()
+                else:
+                    if idle:
+                        idle.pop()
+                        note_capacity_change(-1)
+                    else:
+                        # drain: the next finishing backend retires
+                        state.pending_retire += 1
+
+            sim.schedule(action.effective_s, actuate, label="actuate")
+
+        # -- schedule the day ----------------------------------------------
+        sim.schedule_bulk(
+            [a.time_s for a in arrivals],
+            [
+                (lambda a=a, qid=qid: arrive(a, qid))
+                for qid, a in enumerate(arrivals)
+            ],
+            label="arrival",
+        )
+        if degraded_active and fail_window is not None:
+            sim.schedule(fail_window[0], fail_now, label="shard-fail")
+            if fail_window[1] is not None:
+                sim.schedule(fail_window[1], heal_now, label="shard-heal")
+        if autoscale and config.autoscaler.enabled:
+            interval = config.autoscaler.evaluate_interval_s
+            n_ticks = int(config.day_s // interval)
+            sim.schedule_bulk(
+                [interval * (k + 1) for k in range(n_ticks)],
+                [autoscale_tick] * n_ticks,
+                label="autoscale",
+            )
+        sim.run()
+        monitor.finish(state.last_completion)
+        state.capacity_integral += (
+            (sim.now - state.capacity_since) * state.n_backends
+        )
+
+        # -- measure -------------------------------------------------------
+        ledger = wfq.ledger()
+        tenants: Dict[str, TenantDayResult] = {}
+        for t in config.tenants:
+            lat = latencies[t.name]
+            row = ledger[t.name]
+            completed_reads = len(lat)
+            completed = completed_reads + writes_completed[t.name]
+            within = sum(1 for v in lat if v <= t.latency_slo_s)
+            tenants[t.name] = TenantDayResult(
+                tenant=t.name,
+                offered=offered[t.name],
+                admitted=row["admitted"],
+                completed=completed,
+                rejected=row["rejected"],
+                evicted=row["evicted"],
+                expired=row["expired"],
+                writes_offered=writes_offered[t.name],
+                writes_completed=writes_completed[t.name],
+                mean_latency_s=(
+                    sum(lat) / completed_reads if completed_reads else 0.0
+                ),
+                p50_s=percentile(lat, 50) if lat else 0.0,
+                p99_s=percentile(lat, 99) if lat else 0.0,
+                p999_s=percentile(lat, 99.9) if lat else 0.0,
+                max_latency_s=max(lat) if lat else 0.0,
+                mean_wait_s=(
+                    sum(waits[t.name]) / len(waits[t.name])
+                    if waits[t.name]
+                    else 0.0
+                ),
+                slo_attainment=(
+                    within / completed_reads if completed_reads else 1.0
+                ),
+                goodput_fraction=(
+                    completed / offered[t.name] if offered[t.name] else 0.0
+                ),
+                conserved=(
+                    row["offered"] == row["admitted"] + row["rejected"]
+                    and row["admitted"]
+                    == row["popped"] + row["evicted"] + row["expired"]
+                    + row["depth"]
+                ),
+            )
+        first_alert = monitor.first_alert_at()
+        span = max(state.last_completion - arrivals[0].time_s, 0.0)
+        return DayResult(
+            duration_s=span,
+            tenants=tenants,
+            ledger=ledger,
+            actions=list(scaler.actions),
+            alerts=len(monitor.alerts),
+            first_alert_s=first_alert if first_alert is not None else -1.0,
+            peak_backends=state.peak_backends,
+            final_backends=state.n_backends,
+            rebalances=tracker.rebalances,
+            rebalance_rows_moved=state.rebalance_rows,
+            mean_batch=(
+                sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
+            ),
+            utilization=(
+                state.busy_s / state.capacity_integral
+                if state.capacity_integral > 0
+                else 0.0
+            ),
+        )

@@ -513,3 +513,76 @@ class TestSloCommand:
     def test_bad_config_fails_cleanly(self, capsys):
         assert main(["slo", "--duration", "0"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestTenantsCommand:
+    SMALL = ["tenants", "--day", "4000", "--features", "2000000"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["tenants"])
+        assert args.seed == 0
+        assert args.day == 86_400.0
+        assert args.features == 32_000_000
+        assert not args.trace
+        assert not args.no_isolation
+        assert not args.scorecard
+        assert not args.json
+
+    def test_trace_summary(self, capsys):
+        assert main(self.SMALL + ["--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "arrivals over" in out
+        assert "search:" in out
+        assert "burst)" in out
+        # ingest tenant really carries writes
+        assert "ingestpipe:" in out
+
+    def test_trace_json_deterministic(self, capsys):
+        import json
+
+        cmd = self.SMALL + ["--trace", "--json", "--seed", "9"]
+        assert main(cmd) == 0
+        first = capsys.readouterr().out
+        assert main(cmd) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert set(payload["tenants"]) == {
+            "search", "analytics", "ingestpipe",
+        }
+        assert payload["arrivals"] == sum(
+            row["offered"] for row in payload["tenants"].values()
+        )
+
+    def test_day_human_output(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "production day: 3 tenants" in out
+        assert "SLO attainment" in out
+        assert "autoscaler: peak" in out
+        assert "rebalance(s)" in out
+        assert "isolation (victim p99 with/without search)" in out
+        assert "LEDGER IMBALANCE" not in out
+
+    def test_day_json_schema(self, capsys):
+        import json
+
+        assert main(self.SMALL + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"day", "aggressor", "isolation_p99_ratio"}
+        assert payload["aggressor"] == "search"
+        assert payload["day"]["conserved"] == 1
+        assert set(payload["isolation_p99_ratio"]) == {
+            "analytics", "ingestpipe",
+        }
+
+    def test_no_isolation_skips_the_pair(self, capsys):
+        import json
+
+        assert main(self.SMALL + ["--json", "--no-isolation"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["aggressor"] == ""
+        assert payload["isolation_p99_ratio"] == {}
+
+    def test_bad_config_fails_cleanly(self, capsys):
+        assert main(["tenants", "--day", "0"]) == 1
+        assert "error" in capsys.readouterr().err

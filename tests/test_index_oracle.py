@@ -166,8 +166,9 @@ class TestCombinedScorecardDifferential:
                 json.dumps(card, indent=2, sort_keys=True)
                 == json.dumps(baseline[name], indent=2, sort_keys=True)
             ), f"leg {name!r} drifted from the checked-in baseline"
-        # the index leg is additive: a sixth key, nothing else
-        assert set(baseline) == set(legs) | {"index"}
+        # the index and tenancy legs are additive: two extra keys,
+        # nothing else
+        assert set(baseline) == set(legs) | {"index", "tenancy"}
 
 
 class TestServingIndexKnob:

@@ -231,3 +231,80 @@ class TestDefaultChaosMonitor:
         first = mon.first_alert_at(0.4)
         assert first is not None
         assert first >= 0.4
+
+
+class TestSubIntervalWindowClamp:
+    """Burn windows shorter than the sample interval are clamped.
+
+    Evaluation only happens at sample-interval boundaries, so a
+    sub-interval window sees a sliver of each interval: events landing
+    in the unobserved remainder could never alert.  The monitor clamps
+    such windows up to one full interval and warns at construction.
+    """
+
+    def _clamped(self):
+        with pytest.warns(UserWarning, match="clamping"):
+            return SloMonitor(
+                [SloSpec("read", target=0.9)],
+                rules=[BurnRateRule("fast", "read", window_s=0.01,
+                                    burn_threshold=1.0)],
+                sample_interval_s=0.1,
+            )
+
+    def test_construction_warns(self):
+        self._clamped()
+
+    def test_clamped_window_alerts_on_mid_interval_badness(self):
+        # bad events at 0.02..0.04 sit OUTSIDE the raw (0.09, 0.1]
+        # window of the first boundary — unclamped, no alert could ever
+        # fire for them; clamped to the full interval, the burn is seen
+        mon = self._clamped()
+        for i in range(4):
+            mon.record("read", 0.02 + 0.005 * i, good=False)
+        mon.finish(0.3)
+        assert mon.alerts, "clamped window must observe the bad events"
+        assert mon.alerts[0].at_s == pytest.approx(0.1)
+
+    def test_window_at_or_above_interval_not_clamped(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            SloMonitor(
+                [SloSpec("read", target=0.9)],
+                rules=[BurnRateRule("ok", "read", window_s=0.1)],
+                sample_interval_s=0.1,
+            )
+
+
+class TestWindowCounts:
+    def test_public_window_counts_matches_events(self):
+        mon = _monitor(interval=1.0)
+        mon.record("read", 0.2, good=True)
+        mon.record("read", 0.4, good=False)
+        mon.record("read", 0.6, good=False)
+        mon.record("read", 0.8, good=True)
+        assert mon.window_counts("read", 0.8, 0.5) == (2, 3)
+        assert mon.window_counts("read", 0.3, 0.2) == (0, 1)
+        assert mon.window_counts("read", 5.0, 0.5) == (0, 0)
+
+    def test_window_counts_validation(self):
+        mon = _monitor(interval=1.0)
+        with pytest.raises(ValueError):
+            mon.window_counts("read", 1.0, 0.0)
+        with pytest.raises(ValueError):
+            mon.window_counts("ghost", 1.0, 1.0)
+
+    def test_burn_rate_helper(self):
+        mon = _monitor(interval=1.0, target=0.9)
+        mon.record("read", 0.2, good=False)
+        mon.record("read", 0.4, good=True)
+        # bad fraction 0.5 over budget 0.1 -> burn 5.0
+        assert mon.burn_rate("read", 0.5, 0.5) == pytest.approx(5.0)
+        assert mon.burn_rate("read", 9.0, 0.5) == 0.0
+
+    def test_out_of_order_record_rejected(self):
+        mon = _monitor(interval=1.0)
+        mon.record("read", 0.5, good=True)
+        with pytest.raises(ValueError):
+            mon.record("read", 0.4, good=True)

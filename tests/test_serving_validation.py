@@ -1,0 +1,94 @@
+"""Regression tests: ServingConfig knob combinations fail up front.
+
+Before the fix, a bad queue bound or a ``deadline_s`` attached to the
+wrong policy surfaced as a ``ValueError`` from ``AdmissionQueue`` deep
+inside ``QueryServer.run`` — after the cost model had been built and,
+in a sweep, after earlier points had already run.  Now every knob
+combination is validated at ``ServingConfig`` construction.
+"""
+
+import pytest
+
+from repro.serving.server import ServingConfig
+from repro.serving.sweep import sweep_offered_load
+
+
+class TestServingConfigValidation:
+    def test_defaults_valid(self):
+        ServingConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"queue_bound": 0},
+        {"queue_bound": -4},
+        {"max_batch": 0},
+        {"max_batch": -1},
+        {"policy": "frobnicate"},
+        # deadline policy without a bound / with a non-positive bound
+        {"policy": "deadline"},
+        {"policy": "deadline", "deadline_s": 0.0},
+        {"policy": "deadline", "deadline_s": -0.5},
+        # deadline_s attached to a policy that never reads it
+        {"policy": "reject", "deadline_s": 0.5},
+        {"policy": "drop-oldest", "deadline_s": 0.5},
+        {"cache_entries": 64, "cache_threshold": 0.0},
+        {"cache_entries": 64, "cache_threshold": 1.0},
+        {"cache_entries": 64, "cache_threshold": -0.2},
+        {"fidelity": "quantum"},
+        {"shard_placement": "alphabetical"},
+        {"features": 0},
+        {"n_servers": 0},
+        {"n_shards": 0},
+        {"n_replicas": 0},
+        {"cache_entries": -1},
+        {"ingest_rows_per_op": 0},
+        # index knob combinations (pre-existing, still enforced)
+        {"index_lists": -1},
+        {"index_lists": 8, "index_nprobe": 0},
+        {"index_lists": 8, "index_nprobe": 9},
+        {"index_nprobe": 4},
+    ])
+    def test_bad_combination_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+    def test_error_messages_name_the_knob(self):
+        with pytest.raises(ValueError, match="queue_bound"):
+            ServingConfig(queue_bound=0)
+        with pytest.raises(ValueError, match="deadline_s only applies"):
+            ServingConfig(policy="reject", deadline_s=1.0)
+        with pytest.raises(ValueError, match="fidelity"):
+            ServingConfig(fidelity="nope")
+        with pytest.raises(ValueError, match="index_nprobe"):
+            ServingConfig(index_lists=4, index_nprobe=5)
+
+    def test_valid_combinations_still_construct(self):
+        ServingConfig(policy="deadline", deadline_s=0.5)
+        ServingConfig(policy="drop-oldest")
+        ServingConfig(cache_entries=16, cache_threshold=0.10)
+        ServingConfig(cache_entries=0, cache_threshold=0.10)
+        ServingConfig(index_lists=8, index_nprobe=8)
+        ServingConfig(n_shards=4, n_replicas=2, shard_placement="hash")
+
+
+class TestSweepValidation:
+    CONFIG = ServingConfig(app="tir", features=50_000, queue_bound=8)
+
+    def test_non_positive_qps_point_rejected(self):
+        with pytest.raises(ValueError, match="qps_points"):
+            sweep_offered_load(
+                self.CONFIG, n_queries=4, qps_points=[1.0, 0.0]
+            )
+        with pytest.raises(ValueError, match="qps_points"):
+            sweep_offered_load(
+                self.CONFIG, n_queries=4, qps_points=[-2.0]
+            )
+
+    def test_non_positive_load_fraction_rejected(self):
+        with pytest.raises(ValueError, match="load_fractions"):
+            sweep_offered_load(
+                self.CONFIG, n_queries=4, load_fractions=(0.5, 0.0)
+            )
+
+    def test_non_positive_queries_rejected(self):
+        with pytest.raises(ValueError, match="n_queries"):
+            sweep_offered_load(self.CONFIG, n_queries=0)
